@@ -1,0 +1,58 @@
+"""Ablation: compiling with FMA fusion (-mfma analog).
+
+Fusion shrinks the FP instruction count (one trap-capable instruction
+where two stood) and single-rounds a*b+c — changing both the trap
+profile and (slightly) the numerics; results remain bit-for-bit equal
+between native and virtualized runs of the *same* binary."""
+
+from conftest import publish
+from repro.core.vm import FPVMConfig
+from repro.harness.runner import run_fpvm, run_native
+from repro.kernel.kernel import LinuxKernel
+from repro.machine.cpu import CPU
+from repro.machine.hostlib import install_host_library
+from repro.workloads import get_workload
+
+
+def _run(fuse: bool):
+    module = get_workload("lorenz").build_module(scale=300)
+    module.fuse_fma = fuse
+    program = module.compile()
+    install_host_library(program)
+    native = CPU(program)
+    native.kernel = LinuxKernel()
+    native.run()
+
+    program2 = get_workload("lorenz").build_module(scale=300)
+    program2.fuse_fma = fuse
+    prog2 = program2.compile()
+    install_host_library(prog2)
+    from repro.core.vm import FPVM
+
+    cpu = CPU(prog2)
+    kernel = LinuxKernel()
+    cpu.kernel = kernel
+    vm = FPVM(FPVMConfig.seq_short()).attach(cpu, kernel)
+    cpu.run()
+    assert cpu.output == native.output  # bit-for-bit, fused or not
+    fma_count = sum(1 for i in prog2.instructions if i.mnemonic == "vfmadd213sd")
+    return native, cpu, vm, fma_count
+
+
+def test_fma_fusion(benchmark, results_dir):
+    def measure():
+        return _run(False), _run(True)
+
+    (n0, c0, v0, f0), (n1, c1, v1, f1) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation: FMA fusion (lorenz, SEQ_SHORT)", "",
+        f"{'':<12}{'fma instrs':>11}{'native cyc':>12}{'fpvm cyc':>12}{'emulated':>10}",
+        f"{'scalar':<12}{f0:>11}{n0.cycles:>12}{c0.cycles:>12}{v0.telemetry.emulated_instructions:>10}",
+        f"{'fused':<12}{f1:>11}{n1.cycles:>12}{c1.cycles:>12}{v1.telemetry.emulated_instructions:>10}",
+    ]
+    publish(results_dir, "ablation_fma", "\n".join(lines))
+    assert f0 == 0 and f1 > 0
+    # Fusion removes instructions from the emulated stream.
+    assert v1.telemetry.emulated_instructions < v0.telemetry.emulated_instructions

@@ -1,0 +1,27 @@
+"""Ablation: GC trigger threshold (§2.5).
+
+Frequent collection wastes cycles scanning pages; infrequent
+collection grows the live heap (and per-sweep cost).  The default
+(4096 allocations) sits on the flat part of the curve."""
+
+from conftest import publish
+from repro.core.vm import FPVMConfig
+from repro.harness.runner import run_fpvm
+
+
+def test_gc_threshold_sweep(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for threshold in (128, 512, 2048, 4096, 16384):
+            r = run_fpvm("enzo", FPVMConfig.seq_short(gc_threshold=threshold))
+            rows.append((threshold, r.gc_runs, r.ledger["gc"],
+                         r.telemetry.gc_objects_collected))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: GC threshold (enzo, SEQ_SHORT)", "",
+             f"{'threshold':>10} {'gc runs':>8} {'gc cycles':>10} {'collected':>10}"]
+    for t, runs, cyc, col in rows:
+        lines.append(f"{t:>10} {runs:>8} {cyc:>10} {col:>10}")
+    publish(results_dir, "ablation_gc", "\n".join(lines))
+    assert rows[0][1] > rows[-1][1]  # lower threshold => more GC runs

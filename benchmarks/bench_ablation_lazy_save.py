@@ -1,0 +1,30 @@
+"""Ablation: lazy vs eager state save in the trap entry stubs.
+
+§3.1: "FPVM eagerly saves and restores the entire GPR and FPR state
+... a possible future optimization might be lazy save/restore of this
+state ... this might lead to even lower overhead."  Quantified here as
+the per-trap handler-entry cost difference."""
+
+from conftest import publish
+from repro.core.vm import FPVMConfig
+from repro.harness.runner import run_fpvm
+
+
+def test_lazy_state_save(benchmark, results_dir):
+    def measure():
+        eager = run_fpvm("enzo", FPVMConfig.seq_short())
+        lazy = run_fpvm("enzo", FPVMConfig.seq_short(lazy_state_save=True))
+        return eager, lazy
+
+    eager, lazy = benchmark.pedantic(measure, rounds=1, iterations=1)
+    saved = eager.cycles - lazy.cycles
+    per_trap = saved / max(lazy.traps, 1)
+    lines = [
+        "Ablation: lazy vs eager entry-stub state save (enzo, SEQ_SHORT)", "",
+        f"  eager cycles: {eager.cycles:>12,}",
+        f"  lazy cycles:  {lazy.cycles:>12,}",
+        f"  saved/trap:   {per_trap:>12.0f} cycles",
+    ]
+    publish(results_dir, "ablation_lazy_save", "\n".join(lines))
+    assert lazy.cycles < eager.cycles
+    assert lazy.output == eager.output

@@ -1,0 +1,43 @@
+"""Ablation: emulator move-opcode support breadth (§4.2's "40
+supported, 123 ignored" engineering tradeoff).
+
+Removing integer-move support (mov/lea/push/pop) or the movsd family
+shortens sequences and raises trap counts — quantifying what each
+slice of the supported set buys."""
+
+from conftest import publish
+from repro.core.emulator import DEFAULT_SUPPORTED
+from repro.core.vm import FPVMConfig
+from repro.harness.runner import run_fpvm
+
+VARIANTS = {
+    "full (default)": DEFAULT_SUPPORTED,
+    "no int moves": DEFAULT_SUPPORTED - {"mov", "lea", "push", "pop"},
+    "no fp moves": DEFAULT_SUPPORTED - {"movsd", "movapd", "movupd", "movq"},
+    "arith only": frozenset(
+        m for m in DEFAULT_SUPPORTED
+        if m not in {"mov", "lea", "push", "pop",
+                     "movsd", "movapd", "movupd", "movq", "xorpd"}
+    ),
+    "plus movhpd/movlpd": DEFAULT_SUPPORTED | {"movhpd", "movlpd"},
+}
+
+
+def test_move_support_sweep(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for label, supported in VARIANTS.items():
+            r = run_fpvm("lorenz",
+                         FPVMConfig.seq_short(supported_instructions=supported))
+            rows.append((label, r.avg_sequence_length, r.traps, r.cycles))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: emulator instruction support breadth (lorenz, SEQ_SHORT)",
+             "", f"{'variant':<20} {'avg seq':>8} {'traps':>7} {'cycles':>10}"]
+    for label, seq, traps, cycles in rows:
+        lines.append(f"{label:<20} {seq:>8.1f} {traps:>7} {cycles:>10}")
+    publish(results_dir, "ablation_move_support", "\n".join(lines))
+    by = dict((r[0], r) for r in rows)
+    assert by["no int moves"][1] < by["full (default)"][1]
+    assert by["arith only"][2] > by["full (default)"][2]  # more traps

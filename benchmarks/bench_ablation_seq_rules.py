@@ -1,0 +1,33 @@
+"""Ablation: sequence termination rule (2) (§4.1's tradeoff).
+
+Rule (2) stops emulation at FP instructions with no NaN-boxed source
+(they might run natively for free).  We cannot disable the rule without
+breaking the cost argument, but we can quantify its effect by counting
+the re-faults it causes: sequences ending in no_boxed_source whose
+terminator immediately traps again."""
+
+from conftest import publish
+from repro.core.vm import FPVMConfig
+from repro.harness.runner import run_fpvm
+
+
+def test_rule2_refault_rate(benchmark, results_dir):
+    def measure():
+        out = {}
+        for w in ("lorenz", "enzo", "fbench"):
+            r = run_fpvm(w, FPVMConfig.seq_short(), scale=None)
+            stats = r.trace_stats
+            total = stats.total_sequences()
+            rule2 = sum(rec.count for rec in stats.traces.values()
+                        if rec.reason == "no_boxed_source")
+            out[w] = (rule2, total)
+        return out
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Ablation: termination rule (2) incidence", ""]
+    for w, (rule2, total) in data.items():
+        pct = 100.0 * rule2 / max(total, 1)
+        lines.append(f"  {w:<12} {rule2:6d}/{total:<6d} sequences end on rule (2) ({pct:.1f}%)")
+    publish(results_dir, "ablation_seq_rules", "\n".join(lines))
+    # The rule must fire somewhere (it is load-bearing) but not dominate.
+    assert any(r for r, _ in data.values())

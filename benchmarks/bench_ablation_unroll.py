@@ -1,0 +1,30 @@
+"""Ablation: compiler loop unrolling vs sequence length (§6.3:
+"loop unrolling and software pipelining optimizations will naturally
+lead to longer sequences")."""
+
+from conftest import publish
+from repro.core.vm import FPVMConfig
+from repro.harness.runner import run_fpvm, run_native
+
+
+def test_unroll_sweep(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for unroll in (1, 2, 4, 8):
+            r = run_fpvm("lorenz", FPVMConfig.seq_short(), scale=240, unroll=unroll)
+            am = r.amortized()
+            trap_amortized = am["hw"] + am["kernel"] + am["ret"]
+            rows.append((unroll, r.avg_sequence_length, r.traps, trap_amortized))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: loop unrolling vs sequence length (lorenz, SEQ_SHORT)",
+             "", f"{'unroll':>7} {'avg seq len':>12} {'traps':>7} {'hw+kern+ret/instr':>19}"]
+    for u, seq, traps, amort in rows:
+        lines.append(f"{u:>7} {seq:>12.1f} {traps:>7} {amort:>19.1f}")
+    publish(results_dir, "ablation_unroll", "\n".join(lines))
+    seqs = [r[1] for r in rows]
+    assert seqs == sorted(seqs)  # monotone in unroll factor
+    # Longer sequences amortize trap delegation further (Q3, §6.3).
+    amorts = [r[3] for r in rows]
+    assert amorts == sorted(amorts, reverse=True)

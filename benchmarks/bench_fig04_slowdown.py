@@ -1,0 +1,25 @@
+"""Figure 4: end-to-end application slowdown (Boxed IEEE) for
+NONE / SEQ / SHORT / SEQ_SHORT.
+
+Paper shape: NONE in the hundreds-to-thousands; each technique cuts
+it; combining both gives an average ~7.2x reduction (best ~11.5x,
+Lorenz)."""
+
+from conftest import publish
+from repro.harness import charts, figures, report
+
+
+def test_figure4(benchmark, boxed_suite, results_dir):
+    data = benchmark.pedantic(figures.figure4, args=(boxed_suite,), rounds=1, iterations=1)
+    publish(results_dir, "fig04",
+            report.render_slowdown(data, "Figure 4: application slowdown (Boxed IEEE)"))
+    publish(results_dir, "fig04_chart",
+            charts.slowdown_chart(data, "Figure 4 (bars, log scale)"))
+    reductions = []
+    for w, cfgs in data.items():
+        assert cfgs["NONE"] > 100, w
+        assert cfgs["SEQ"] < cfgs["NONE"]
+        assert cfgs["SHORT"] < cfgs["NONE"]
+        reductions.append(cfgs["NONE"] / cfgs["SEQ_SHORT"])
+    assert sum(reductions) / len(reductions) > 5  # paper: avg 7.2x
+    assert max(reductions) > 9                    # paper: best 11.5x (Lorenz)

@@ -1,0 +1,19 @@
+"""Figure 5: slowdown relative to the altmath lower bound (Boxed IEEE).
+
+1.0x means zero virtualization overhead on top of the alternative
+arithmetic itself.  Paper: NONE sits ~10-25x above the bound;
+SEQ_SHORT approaches it (Lorenz: 1.65x)."""
+
+from conftest import publish
+from repro.harness import figures, report
+
+
+def test_figure5(benchmark, boxed_suite, results_dir):
+    data = benchmark.pedantic(figures.figure5, args=(boxed_suite,), rounds=1, iterations=1)
+    publish(results_dir, "fig05",
+            report.render_slowdown(data, "Figure 5: slowdown from lower bound (Boxed IEEE)",
+                                   "vs native+altmath"))
+    for w, cfgs in data.items():
+        assert cfgs["NONE"] > 10, w
+        assert cfgs["SEQ_SHORT"] < 4.5, (w, cfgs["SEQ_SHORT"])
+    assert min(c["SEQ_SHORT"] for c in data.values()) < 3  # best case near bound

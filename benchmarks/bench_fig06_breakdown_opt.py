@@ -1,0 +1,29 @@
+"""Figure 6: per-instruction cost breakdown under each acceleration
+(Boxed IEEE), with the per-bar speedup factors.
+
+Paper shape: SHORT collapses kernel+ret; SEQ amortizes hw+kernel+ret
+by the average sequence length; combined, altmath becomes the largest
+component (the Amdahl limit)."""
+
+from conftest import publish
+from repro.harness import charts, figures, report
+from repro.machine.costs import LEDGER_CATEGORIES
+
+
+def test_figure6(benchmark, boxed_suite, results_dir):
+    data = benchmark.pedantic(figures.figure6, args=(boxed_suite,), rounds=1, iterations=1)
+    publish(results_dir, "fig06",
+            report.render_breakdown_by_config(
+                data, "Figure 6: cost breakdown with accelerations (Boxed IEEE)"))
+    publish(results_dir, "fig06_chart",
+            charts.breakdown_by_config_chart(data, "Figure 6 (stacked bars)"))
+    for w, rows in data.items():
+        by = {r.config: r for r in rows}
+        # SHORT cuts the kernel category by ~an order of magnitude.
+        assert by["SHORT"].amortized["kernel"] < by["NONE"].amortized["kernel"] / 8
+        # SEQ amortizes hw.
+        assert by["SEQ"].amortized["hw"] < by["NONE"].amortized["hw"] / 1.5
+        # Combined: altmath is the largest category (Amdahl limit).
+        opt = by["SEQ_SHORT"].amortized
+        assert opt["altmath"] == max(opt[c] for c in LEDGER_CATEGORIES), w
+        assert by["SEQ_SHORT"].speedup_vs_none > 4

@@ -1,0 +1,24 @@
+"""Figure 8: instruction sequence rank popularity (CDF of emulated
+instructions covered by the top-k traces).
+
+Paper shape: the benchmarks' CDFs are far left (fewer than 100
+sequences cover them); Enzo needs ~350 ranks for 90%."""
+
+from conftest import publish
+from repro.harness import figures, report
+
+
+def test_figure8(benchmark, boxed_suite, results_dir):
+    data = benchmark.pedantic(figures.figure8, args=(boxed_suite,), rounds=1, iterations=1)
+    publish(results_dir, "fig08",
+            report.render_cdf(data, "Figure 8: sequence rank popularity CDF", "rank"))
+    for w, series in data.items():
+        # A handful of traces covers most of the action...
+        k = min(len(series), 100)
+        assert series[k - 1] > 80, w
+    # ...and Enzo needs the most ranks of anyone (paper's right-curve).
+    ranks_to_90 = {
+        w: next(i + 1 for i, v in enumerate(series) if v >= 90)
+        for w, series in data.items()
+    }
+    assert ranks_to_90["enzo"] == max(ranks_to_90.values())

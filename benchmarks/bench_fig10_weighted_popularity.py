@@ -1,0 +1,21 @@
+"""Figure 10: sequence-length-weighted rank popularity — "if we cached
+only the top-k sequences, what average sequence length would we get?"
+— plus the §6.3 trace-cache sizing arithmetic.
+
+Paper: Lorenz converges by rank ~18 to avg ~32 (=> ~576 entries);
+Enzo needs ~600 ranks at avg ~3 (~1800 entries, ~1.8MB); every run
+fits comfortably in the 64K-entry decode cache."""
+
+from conftest import publish
+from repro.harness import figures, report
+
+
+def test_figure10(benchmark, boxed_suite, results_dir):
+    data = benchmark.pedantic(figures.figure10, args=(boxed_suite,), rounds=1, iterations=1)
+    text = report.render_cache_sizing(
+        data, "Figure 10: weighted rank popularity / trace cache sizing")
+    publish(results_dir, "fig10", text)
+    for w, sizing in data.items():
+        assert sizing.cache_entries < 65536, w  # fits the default cache
+        assert sizing.weighted_by_rank[-1] > 0
+    assert data["lorenz"].average_length == max(s.average_length for s in data.values())

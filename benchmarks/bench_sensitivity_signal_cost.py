@@ -1,0 +1,58 @@
+"""Sensitivity: how do the techniques' benefits depend on the kernel's
+signal-delivery cost?
+
+The paper's motivation is that POSIX delivery costs ~3800 cycles.  This
+sweep re-prices delivery and locates the crossover: with cheap enough
+signals, trap short-circuiting stops mattering while sequence emulation
+keeps paying (it also amortizes hw and FPVM software costs)."""
+
+import dataclasses
+
+from conftest import publish
+from repro.core.vm import FPVM, FPVMConfig
+from repro.kernel.kernel import LinuxKernel
+from repro.machine.costs import DEFAULT_COSTS
+from repro.machine.cpu import CPU
+from repro.machine.hostlib import install_host_library
+from repro.workloads import build_program
+
+
+def run_with_costs(costs, config) -> int:
+    program = build_program("lorenz", scale=120)
+    cpu = CPU(program, costs=costs)
+    kernel = LinuxKernel(costs=costs)
+    cpu.kernel = kernel
+    FPVM(config).attach(cpu, kernel)
+    cpu.run()
+    return cpu.cycles
+
+
+def test_signal_cost_sweep(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for deliver in (400, 1000, 2000, 3800, 8000):
+            costs = dataclasses.replace(
+                DEFAULT_COSTS, signal_deliver=deliver,
+                sigreturn=max(deliver // 2, 150),
+            )
+            none = run_with_costs(costs, FPVMConfig.none())
+            seq = run_with_costs(costs, FPVMConfig.seq())
+            short = run_with_costs(costs, FPVMConfig.short())
+            rows.append((deliver, none / short, none / seq))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Sensitivity: signal delivery cost vs technique benefit (lorenz)",
+             "", f"{'deliver cyc':>12} {'SHORT gain':>11} {'SEQ gain':>10}"]
+    for deliver, short_gain, seq_gain in rows:
+        lines.append(f"{deliver:>12} {short_gain:>10.2f}x {seq_gain:>9.2f}x")
+    publish(results_dir, "sensitivity_signal_cost", "\n".join(lines))
+    # SHORT's benefit grows with delivery cost; SEQ's also grows but
+    # keeps a floor (it amortizes hw + software costs too).
+    short_gains = [r[1] for r in rows]
+    assert short_gains == sorted(short_gains)
+    assert rows[0][2] > 1.5  # SEQ still wins when signals are cheap
+    # Crossover: with cheap signals SEQ beats SHORT; with the paper's
+    # costs SHORT overtakes it on this short-sequence-free workload? No:
+    # lorenz is long-sequence, so SEQ wins everywhere — assert that too.
+    assert all(seq >= short * 0.8 for _, short, seq in rows)

@@ -1,0 +1,97 @@
+"""Wall-clock microbenchmarks of the simulator's hot primitives.
+
+These are the only benchmarks here that measure *host* time (the
+figure benches measure simulated cycles): they track the throughput of
+the substrate so regressions in the reproduction itself are visible.
+"""
+
+from repro.altmath.posit import fraction_to_posit, posit_to_fraction, Posit
+from repro.core.alloc import BoxAllocator
+from repro.core import nanbox
+from repro.fpu import bits as B
+from repro.fpu.ieee import ieee_add, ieee_mul
+from repro.fpu.softfloat import BigFloat, BigFloatContext
+from repro.kernel.kernel import LinuxKernel
+from repro.machine.assembler import assemble
+from repro.machine.cpu import CPU
+from repro.machine.decoder import decode_instruction
+
+from fractions import Fraction
+
+
+def test_decoder_throughput(benchmark):
+    prog = assemble("main:\n  movsd xmm0, [rax + rcx*8 + 32]\n  hlt\n")
+    raw = prog.instructions[0].raw
+    instr = benchmark(decode_instruction, raw, 0x400000)
+    assert instr.mnemonic == "movsd"
+
+
+def test_ieee_add_oracle(benchmark):
+    a, b = B.float_to_bits(0.1), B.float_to_bits(0.2)
+    r = benchmark(ieee_add, a, b)
+    assert r.flags.inexact
+
+
+def test_ieee_mul_oracle(benchmark):
+    a, b = B.float_to_bits(0.1), B.float_to_bits(0.3)
+    r = benchmark(ieee_mul, a, b)
+    assert r.flags.inexact
+
+
+def test_bigfloat_mul_200bit(benchmark):
+    ctx = BigFloatContext(200)
+    x = BigFloat.from_float(0.1, ctx)
+    y = BigFloat.from_float(0.3, ctx)
+    r = benchmark(x.mul, y, ctx)
+    assert not r.is_nan()
+
+
+def test_bigfloat_sqrt_200bit(benchmark):
+    ctx = BigFloatContext(200)
+    x = BigFloat.from_float(2.0, ctx)
+    r = benchmark(x.sqrt, ctx)
+    assert not r.is_nan()
+
+
+def test_posit64_round_trip(benchmark):
+    def round_trip():
+        p = fraction_to_posit(Fraction(355, 113), 64)
+        return posit_to_fraction(p)
+
+    v = benchmark(round_trip)
+    assert abs(v - Fraction(355, 113)) < Fraction(1, 10**12)
+
+
+def test_gc_collect_throughput(benchmark):
+    prog = assemble("main:\n  hlt\n")
+    cpu = CPU(prog)
+    alloc = BoxAllocator()
+    ptrs = [alloc.alloc(float(i)) for i in range(512)]
+    # Half the boxes live in memory, half are garbage.
+    for i, ptr in enumerate(ptrs[::2]):
+        cpu.mem.write_u64(0x600000 + 8 * i, nanbox.box_bits(ptr))
+
+    def collect():
+        # Re-add the garbage each round so there is work to do.
+        for i in range(256):
+            alloc.alloc(float(i))
+        return alloc.collect(cpu)
+
+    collected, pages = benchmark(collect)
+    assert collected >= 256
+
+
+def test_cpu_interpreter_throughput(benchmark):
+    src = (
+        "main:\n  mov rcx, 200\n  mov rax, 0\n"
+        "top:\n  add rax, rcx\n  dec rcx\n  jne top\n  hlt\n"
+    )
+
+    def run():
+        cpu = CPU(assemble(src))
+        cpu.kernel = LinuxKernel()
+        cpu.run()
+        return cpu
+
+    cpu = benchmark(run)
+    assert cpu.regs.gpr[0] == sum(range(1, 201))

@@ -1,0 +1,17 @@
+"""§2.3 / §3 trap-machinery constants, measured from single-trap runs.
+
+Paper values (Dell R6515, EPYC 7443P, Linux 5.15): hw ~380 cycles,
+SIGFPE delivery ~3800, sigreturn ~1800, short-circuit delivery ~350
+with an iretq-style return; hw+kern+ret drops 5980 -> ~760 (~8x).
+"""
+
+from conftest import publish
+from repro.harness import figures, report
+
+
+def test_trap_costs(benchmark, results_dir):
+    table = benchmark.pedantic(figures.trap_microbenchmark, rounds=1, iterations=1)
+    publish(results_dir, "trap_microbench",
+            report.render_trap_costs(table, "Trap delegation microbenchmark (§2.3/§3)"))
+    assert abs(table.hw_trap - 380) < 25
+    assert 6 < table.delegation_reduction < 20

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figNN`` module regenerates one of the paper's figures:
+the timed body produces the figure's data, and the rendered
+paper-style table is written to ``results/figNN.txt`` (and echoed to
+stdout when running with ``-s``).
+
+Full-size suites are session-scoped so the 6-workload x 4-config run
+matrix is executed once per arithmetic system per session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import figures
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: MPFR runs the same workloads at reduced scale: BigFloat arithmetic
+#: is orders of magnitude slower to *simulate* (not just to model).
+MPFR_SCALES = {
+    "lorenz": 150,
+    "three_body": 16,
+    "double_pendulum": 24,
+    "fbench": 6,
+    "ffbench": 16,
+    "enzo": 16,
+}
+
+
+@pytest.fixture(scope="session")
+def boxed_suite() -> figures.Suite:
+    return figures.Suite("boxed_ieee")
+
+
+@pytest.fixture(scope="session")
+def mpfr_suite() -> figures.Suite:
+    return figures.Suite("mpfr", scale_overrides=MPFR_SCALES)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a rendered figure and echo it."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure without pytest.
+
+Usage:  python benchmarks/run_all_figures.py [--skip-mpfr]
+
+Writes the paper-style tables to benchmarks/results/ and prints them.
+(The pytest benchmarks in this directory do the same with assertions
+and timing; this script is the quick human-facing path.)
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from conftest import MPFR_SCALES, RESULTS_DIR, publish  # noqa: E402
+from repro.harness import figures, report  # noqa: E402
+
+
+def main() -> None:
+    skip_mpfr = "--skip-mpfr" in sys.argv
+    RESULTS_DIR.mkdir(exist_ok=True)
+    t0 = time.time()
+
+    table = figures.trap_microbenchmark()
+    publish(RESULTS_DIR, "trap_microbench",
+            report.render_trap_costs(table, "Trap delegation microbenchmark (§2.3/§3)"))
+    publish(RESULTS_DIR, "fig03",
+            report.render_magic_costs(figures.figure3(),
+                                      "Figure 3: magic traps vs int3 correctness traps"))
+
+    boxed = figures.Suite("boxed_ieee")
+    publish(RESULTS_DIR, "fig01",
+            report.render_breakdown(figures.figure1(boxed),
+                                    "Figure 1: baseline cost breakdown (Boxed IEEE, NONE)"))
+    publish(RESULTS_DIR, "fig04",
+            report.render_slowdown(figures.figure4(boxed),
+                                   "Figure 4: application slowdown (Boxed IEEE)"))
+    publish(RESULTS_DIR, "fig05",
+            report.render_slowdown(figures.figure5(boxed),
+                                   "Figure 5: slowdown from lower bound (Boxed IEEE)",
+                                   "vs native+altmath"))
+    publish(RESULTS_DIR, "fig06",
+            report.render_breakdown_by_config(
+                figures.figure6(boxed),
+                "Figure 6: cost breakdown with accelerations (Boxed IEEE)"))
+    publish(RESULTS_DIR, "fig07",
+            "Figure 7: example instruction trace\n\n" + figures.figure7(boxed))
+    publish(RESULTS_DIR, "fig08",
+            report.render_cdf(figures.figure8(boxed),
+                              "Figure 8: sequence rank popularity CDF", "rank"))
+    publish(RESULTS_DIR, "fig09",
+            report.render_length_cdf(figures.figure9(boxed),
+                                     "Figure 9: sequence length CDF"))
+    publish(RESULTS_DIR, "fig10",
+            report.render_cache_sizing(
+                figures.figure10(boxed),
+                "Figure 10: weighted rank popularity / trace cache sizing"))
+    publish(RESULTS_DIR, "profiler_vs_static",
+            report.render_patch_sites(figures.profiler_vs_static(),
+                                      "Patch sites: static analysis vs profiler (§5.1)"))
+
+    if not skip_mpfr:
+        mpfr = figures.Suite("mpfr", scale_overrides=MPFR_SCALES)
+        publish(RESULTS_DIR, "fig11",
+                report.render_slowdown(figures.figure4(mpfr),
+                                       "Figure 11: application slowdown (MPFR, 200 bits)"))
+        publish(RESULTS_DIR, "fig12",
+                report.render_slowdown(figures.figure5(mpfr),
+                                       "Figure 12: slowdown from lower bound (MPFR)",
+                                       "vs native+altmath"))
+        publish(RESULTS_DIR, "fig13",
+                report.render_breakdown_by_config(
+                    figures.figure6(mpfr),
+                    "Figure 13: cost breakdown with accelerations (MPFR)"))
+
+    print(f"\nall figures regenerated in {time.time() - t0:.0f}s -> {RESULTS_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""A tour of alternative arithmetic systems on one unmodified binary.
+
+The same three-body simulation binary runs under every arithmetic
+system the introduction motivates: Boxed IEEE (hardware doubles in
+boxes), MPFR-class high precision, posits, interval arithmetic, and
+exact rationals — with per-system overhead and the final state's
+divergence from the binary64 trajectory.
+
+Run:  python examples/arithmetic_tour.py
+"""
+
+from repro.core.vm import FPVMConfig
+from repro.harness.runner import run_fpvm, run_native
+
+SYSTEMS = [
+    ("boxed_ieee", {}, "Boxed IEEE (worst case for FPVM)"),
+    ("mpfr", {"precision": 200}, "MPFR-class BigFloat, 200 bits"),
+    ("mpfr", {"precision": 80}, "MPFR-class BigFloat, 80 bits"),
+    ("posit", {"nbits": 64}, "posit<64,2>"),
+    ("interval", {}, "interval arithmetic (midpoint shown)"),
+    ("rational", {"max_denominator": 10**40}, "slash rational (bounded denominator)"),
+]
+
+
+def final_position(output: list[str]) -> tuple[float, float]:
+    """Last logged body-0 position pair."""
+    pairs = [l for l in output if " " in l]
+    x, y = pairs[-3].split()
+    return float(x), float(y)
+
+
+def main() -> None:
+    native = run_native("three_body", scale=16)
+    nx, ny = final_position(native.output)
+    print("three-body simulation, chaotic regime")
+    print(f"  native binary64 final position of body 0: ({nx:+.12f}, {ny:+.12f})")
+    print()
+    header = f"{'system':<38}{'slowdown':>10}{'traps':>8}{'drift from binary64':>22}"
+    print(header)
+    print("-" * len(header))
+    for name, kwargs, label in SYSTEMS:
+        cfg = FPVMConfig.seq_short(altmath=name, altmath_kwargs=kwargs)
+        result = run_fpvm("three_body", cfg, scale=16)
+        x, y = final_position(result.output)
+        drift = ((x - nx) ** 2 + (y - ny) ** 2) ** 0.5
+        slow = result.cycles / native.cycles
+        shown = f"{drift:.3e}" if drift == drift else "widths blew up (*)"
+        print(f"{label:<38}{slow:>9.1f}x{result.traps:>8}{shown:>22}")
+    print()
+    print("Boxed IEEE drifts by exactly zero (it computes binary64);")
+    print("higher precision shifts the chaotic trajectory (a feature:")
+    print("the drift estimates the binary64 rounding error's effect);")
+    print("posits trade dynamic-range tails for near-1 accuracy.")
+    print("(*) naive interval arithmetic on a chaotic orbit: the bounds")
+    print("grow without limit until a divisor interval straddles zero --")
+    print("itself a useful diagnostic the virtualization surfaced for free.")
+
+
+if __name__ == "__main__":
+    main()

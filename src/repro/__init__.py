@@ -1,0 +1,31 @@
+"""repro — a reproduction of "Virtualization So Light, it Floats!
+Accelerating Floating Point Virtualization" (Wanninger, Dhiantravan,
+Dinda; HPDC '25).
+
+The package implements FPVM — trap-and-emulate floating point
+virtualization — together with the three acceleration techniques the
+paper contributes (trap short-circuiting, instruction sequence
+emulation, and kernel bypass for correctness instrumentation), on top
+of a simulated x64/Linux substrate:
+
+- :mod:`repro.fpu`      — IEEE-754 bit-level substrate + exact exception
+  oracle + arbitrary-precision BigFloat (MPFR stand-in).
+- :mod:`repro.machine`  — x64-subset CPU/ISA simulator with precise FP
+  traps and a cycle cost model.
+- :mod:`repro.kernel`   — Linux kernel simulator: signal delivery,
+  sigreturn, and the FPVM trap short-circuiting "kernel module".
+- :mod:`repro.altmath`  — alternative arithmetic systems (Boxed IEEE,
+  MPFR/BigFloat, posit, interval, rational).
+- :mod:`repro.core`     — FPVM itself: NaN-boxing, allocator + GC,
+  decode/trace cache, emulator, sequence emulation, correctness
+  instrumentation (magic traps/wraps), telemetry.
+- :mod:`repro.compiler` — a mini-C compiler targeting the simulated ISA.
+- :mod:`repro.workloads` — the paper's benchmarks (Lorenz, 3-body,
+  double pendulum, fbench, ffbench, mini-Enzo).
+- :mod:`repro.harness`  — run configurations (NONE/SEQ/SHORT/SEQ_SHORT)
+  and per-figure experiment drivers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

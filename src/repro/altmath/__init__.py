@@ -1,0 +1,39 @@
+"""Alternative arithmetic systems (§2.1 "Alternative arithmetic system
+interface").
+
+FPVM talks to the arithmetic system through a narrow, swappable
+interface.  The paper evaluates two:
+
+- **Boxed IEEE** — hardware doubles boxed on the heap behind NaN-boxed
+  pointers.  The *fastest* system, hence the worst case for exposing
+  virtualization overhead (used for Figures 1, 4-10).
+- **MPFR** at 200 bits (Figures 11-13) — here the from-scratch
+  :class:`~repro.fpu.softfloat.BigFloat`.
+
+Plus the systems the introduction motivates: posits, interval
+arithmetic, and rational arithmetic.
+"""
+
+from repro.altmath.base import AltMathCosts, AltMathSystem, get_altmath, register_altmath
+from repro.altmath.boxed_ieee import BoxedIEEE
+from repro.altmath.mpfr import MPFRSystem
+from repro.altmath.posit import PositSystem, Posit
+from repro.altmath.interval import IntervalSystem
+from repro.altmath.rational import RationalSystem
+from repro.altmath.lowprec import LowPrecisionSystem
+from repro.altmath.lns import LNSSystem
+
+__all__ = [
+    "AltMathCosts",
+    "AltMathSystem",
+    "get_altmath",
+    "register_altmath",
+    "BoxedIEEE",
+    "MPFRSystem",
+    "PositSystem",
+    "Posit",
+    "IntervalSystem",
+    "RationalSystem",
+    "LowPrecisionSystem",
+    "LNSSystem",
+]

@@ -1,0 +1,51 @@
+"""Reduced-precision arithmetic systems (§2.3's "decreased precision"
+extension).
+
+The paper notes FPVM "could support decreased precision by having
+every floating point instruction trap — on x64, this can be readily
+done by disabling the floating point hardware altogether.  This is not
+currently done."  This module implements that future-work system: a
+binary float of configurable (small) mantissa width built on
+:class:`~repro.fpu.softfloat.BigFloat`, used together with
+``FPVMConfig(trap_all_fp=True)`` so even exact operations trap and are
+re-rounded at the reduced precision.
+
+Presets: ``precision=24`` approximates binary32, ``precision=11``
+binary16, ``precision=8`` bfloat16 (mantissa width only — exponent
+range is not clamped, which is the interesting axis for precision
+studies; the repo documents this simplification).
+"""
+
+from __future__ import annotations
+
+from repro.altmath.base import AltMathCosts, AltMathSystem, register_altmath
+from repro.altmath.mpfr import MPFRSystem
+from repro.fpu.softfloat import BigFloatContext
+
+
+@register_altmath
+class LowPrecisionSystem(MPFRSystem):
+    """Same machinery as the MPFR system, different precision regime —
+    and much cheaper ops (a software binary32 is nearly free next to a
+    200-bit multiply)."""
+
+    name = "lowprec"
+
+    def __init__(self, precision: int = 24):
+        if precision > 52:
+            raise ValueError(
+                "lowprec is for *decreased* precision (<= 52 bits); "
+                "use the mpfr system for increased precision"
+            )
+        super().__init__(precision)
+        self.costs = AltMathCosts(
+            promote=40,
+            demote=30,
+            box=100,
+            load=35,
+            compare=20,
+            convert=30,
+            ops={"add": 35, "sub": 35, "mul": 45, "div": 80, "sqrt": 110,
+                 "min": 25, "max": 25, "neg": 10, "abs": 10},
+            libm=320,
+        )

@@ -1,0 +1,258 @@
+"""Posit arithmetic (Gustafson's unum-III), one of the alternative
+representations the paper's introduction motivates.
+
+Implements the 2022 posit standard's layout for configurable ``nbits``
+(es = 2): sign bit, regime run, 2 exponent bits, fraction; a single NaR
+(Not a Real) pattern; no signed zero, no infinities, saturating
+rounding at the extremes, round-to-nearest-even in the interior.
+
+Arithmetic decodes to exact rationals, computes exactly, and re-encodes
+with correct posit rounding — the reference-quality (not fast) scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.altmath.base import AltMathCosts, AltMathSystem, register_altmath
+from repro.fpu import bits as B
+
+ES = 2  # posit standard (2022) exponent size for every width
+
+
+@dataclass(frozen=True)
+class Posit:
+    """An nbits-wide posit, stored as its raw unsigned encoding."""
+
+    raw: int
+    nbits: int
+
+    def __post_init__(self):
+        if not 0 <= self.raw < (1 << self.nbits):
+            raise ValueError("raw pattern out of range")
+
+    @property
+    def nar(self) -> bool:
+        return self.raw == 1 << (self.nbits - 1)
+
+    @property
+    def is_zero(self) -> bool:
+        return self.raw == 0
+
+    def __repr__(self) -> str:
+        if self.nar:
+            return f"Posit(NaR, {self.nbits})"
+        return f"Posit({float(posit_to_fraction(self)) if not self.is_zero else 0.0}, {self.nbits})"
+
+
+def posit_to_fraction(p: Posit) -> Fraction:
+    """Exact value of a non-NaR, nonzero posit."""
+    if p.is_zero:
+        return Fraction(0)
+    if p.nar:
+        raise ValueError("NaR has no value")
+    n = p.nbits
+    raw = p.raw
+    negative = bool(raw >> (n - 1))
+    if negative:
+        raw = (-raw) & ((1 << n) - 1)  # two's complement negation
+    # Strip sign bit; remaining n-1 bits: regime, exponent, fraction.
+    body = raw & ((1 << (n - 1)) - 1)
+    width = n - 1
+    first = (body >> (width - 1)) & 1
+    # Count the regime run of bits equal to `first`.
+    run = 0
+    for i in range(width - 1, -1, -1):
+        if (body >> i) & 1 == first:
+            run += 1
+        else:
+            break
+    k = run - 1 if first else -run
+    # Bits after the regime run and its terminator.
+    rest_width = width - run - 1
+    rest = body & ((1 << max(rest_width, 0)) - 1) if rest_width > 0 else 0
+    if rest_width >= ES:
+        e = rest >> (rest_width - ES)
+        frac_width = rest_width - ES
+        frac = rest & ((1 << frac_width) - 1)
+    else:
+        e = (rest << (ES - max(rest_width, 0))) if rest_width > 0 else 0
+        frac_width = 0
+        frac = 0
+    scale = (1 << ES) * k + e
+    mant = Fraction(frac, 1 << frac_width) + 1 if frac_width else Fraction(1)
+    value = mant * (Fraction(2) ** scale)
+    return -value if negative else value
+
+
+def fraction_to_posit(value: Fraction, nbits: int) -> Posit:
+    """Round an exact rational to the nearest posit.
+
+    Reference-quality algorithm: positive posit encodings are strictly
+    monotonic in value, so binary-search the body whose value brackets
+    the magnitude, then round to nearest with ties to the even
+    encoding.  Per the 2022 standard there is no underflow to zero and
+    no overflow to NaR: results saturate at minpos/maxpos.
+    """
+    if value == 0:
+        return Posit(0, nbits)
+    negative = value < 0
+    mag = -value if negative else value
+    width = nbits - 1
+    maxbody = (1 << width) - 1
+
+    # Largest body whose value <= mag.
+    lo, hi = 1, maxbody
+    if mag <= _body_value(1, nbits):
+        body = 1  # minpos (no underflow to zero)
+    elif mag >= _body_value(maxbody, nbits):
+        body = maxbody
+    else:
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if _body_value(mid, nbits) <= mag:
+                lo = mid
+            else:
+                hi = mid
+        below, above = _body_value(lo, nbits), _body_value(hi, nbits)
+        gap_lo = mag - below
+        gap_hi = above - mag
+        if gap_lo < gap_hi:
+            body = lo
+        elif gap_hi < gap_lo:
+            body = hi
+        else:
+            body = lo if lo % 2 == 0 else hi  # ties to even encoding
+    raw = body if not negative else (-body) & ((1 << nbits) - 1)
+    return Posit(raw, nbits)
+
+
+def _body_value(body: int, nbits: int) -> Fraction:
+    """Value of a positive posit given its body (raw with sign bit 0)."""
+    return posit_to_fraction(Posit(body, nbits))
+
+
+def posit_from_float(x: float, nbits: int) -> Posit:
+    if math.isnan(x) or math.isinf(x):
+        return Posit(1 << (nbits - 1), nbits)  # NaR
+    if x == 0:
+        return Posit(0, nbits)
+    return fraction_to_posit(Fraction(x), nbits)
+
+
+def posit_to_float(p: Posit) -> float:
+    if p.nar:
+        return math.nan
+    if p.is_zero:
+        return 0.0
+    f = posit_to_fraction(p)
+    bits_, *_ = B.fraction_to_bits_rne(f)
+    return B.bits_to_float(bits_)
+
+
+@register_altmath
+class PositSystem(AltMathSystem):
+    name = "posit"
+
+    def __init__(self, nbits: int = 64):
+        if nbits < 4:
+            raise ValueError("posit width must be >= 4")
+        self.nbits = nbits
+        self.costs = AltMathCosts(
+            promote=120,
+            demote=100,
+            box=90,
+            compare=25,
+            convert=90,
+            ops={"add": 150, "sub": 150, "mul": 180, "div": 350,
+                 "sqrt": 450, "min": 40, "max": 40, "neg": 15, "abs": 15},
+            libm=900,
+        )
+
+    def promote(self, bits: int) -> Posit:
+        return posit_from_float(B.bits_to_float(bits), self.nbits)
+
+    def demote(self, value: Posit) -> int:
+        return B.float_to_bits(posit_to_float(value))
+
+    def from_i64(self, value: int) -> Posit:
+        value &= 0xFFFF_FFFF_FFFF_FFFF
+        if value >= 1 << 63:
+            value -= 1 << 64
+        if value == 0:
+            return Posit(0, self.nbits)
+        return fraction_to_posit(Fraction(value), self.nbits)
+
+    def to_i64(self, value: Posit, truncate: bool = True) -> int:
+        if value.nar:
+            return 0x8000_0000_0000_0000
+        if value.is_zero:
+            return 0
+        f = posit_to_fraction(value)
+        t = int(f) if truncate else round(f)
+        if not (-(2**63) <= t <= 2**63 - 1):
+            return 0x8000_0000_0000_0000
+        return t & 0xFFFF_FFFF_FFFF_FFFF
+
+    def binary(self, op: str, a: Posit, b: Posit) -> Posit:
+        if a.nar or b.nar:
+            return Posit(1 << (self.nbits - 1), self.nbits)
+        if op in ("min", "max"):
+            c = self.compare(a, b)
+            if c == 0:
+                return b
+            if op == "min":
+                return a if c < 0 else b
+            return a if c > 0 else b
+        fa = posit_to_fraction(a) if not a.is_zero else Fraction(0)
+        fb = posit_to_fraction(b) if not b.is_zero else Fraction(0)
+        if op == "add":
+            r = fa + fb
+        elif op == "sub":
+            r = fa - fb
+        elif op == "mul":
+            r = fa * fb
+        elif op == "div":
+            if fb == 0:
+                return Posit(1 << (self.nbits - 1), self.nbits)  # NaR
+            r = fa / fb
+        else:
+            raise KeyError(op)
+        if r == 0:
+            return Posit(0, self.nbits)
+        return fraction_to_posit(r, self.nbits)
+
+    def unary(self, op: str, a: Posit) -> Posit:
+        if a.nar:
+            return a
+        if op == "neg":
+            return Posit((-a.raw) & ((1 << self.nbits) - 1), self.nbits)
+        if op == "abs":
+            if a.raw >> (self.nbits - 1):
+                return Posit((-a.raw) & ((1 << self.nbits) - 1), self.nbits)
+            return a
+        if op == "sqrt":
+            if a.is_zero:
+                return a
+            f = posit_to_fraction(a)
+            if f < 0:
+                return Posit(1 << (self.nbits - 1), self.nbits)
+            # sqrt to nbits+8 bits then round.
+            prec = self.nbits + 8
+            scale = 1 << (2 * prec)
+            root = math.isqrt((f.numerator * scale) // f.denominator)
+            return fraction_to_posit(Fraction(root, 1 << prec), self.nbits)
+        raise KeyError(op)
+
+    def compare(self, a: Posit, b: Posit) -> int | None:
+        if a.nar or b.nar:
+            return None
+        # Posit encodings compare like two's complement integers.
+        sa = a.raw - (1 << self.nbits) if a.raw >> (self.nbits - 1) else a.raw
+        sb = b.raw - (1 << self.nbits) if b.raw >> (self.nbits - 1) else b.raw
+        return -1 if sa < sb else (0 if sa == sb else 1)
+
+    def is_nan_value(self, value: Posit) -> bool:
+        return value.nar

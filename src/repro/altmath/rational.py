@@ -1,0 +1,246 @@
+"""Exact rational arithmetic (slash-arithmetic-inspired; see the
+paper's related-work discussion of finite-precision rational systems).
+
+Values are exact :class:`fractions.Fraction` for +, -, *, /; square
+roots and transcendentals fall back to high-precision approximation
+(so the system is exact on the field operations and faithful
+elsewhere).  Special values (NaN, +/-inf, signed zero) are carried as
+tagged sentinels.  Costs grow with operand size in real slash systems;
+here a flat model calibrated to "much more expensive than doubles,
+cheaper than 200-bit MPFR transcendentals" is used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.altmath.base import AltMathCosts, AltMathSystem, register_altmath
+from repro.fpu import bits as B
+
+
+@dataclass(frozen=True)
+class RationalValue:
+    """Either an exact rational or a special (nan/+inf/-inf/-0)."""
+
+    value: Fraction | None
+    special: str | None = None  # "nan", "+inf", "-inf", "-0"
+
+    @classmethod
+    def nan(cls) -> "RationalValue":
+        return cls(None, "nan")
+
+    @classmethod
+    def inf(cls, negative: bool) -> "RationalValue":
+        return cls(None, "-inf" if negative else "+inf")
+
+    def is_nan(self) -> bool:
+        return self.special == "nan"
+
+    def is_inf(self) -> bool:
+        return self.special in ("+inf", "-inf")
+
+    def numeric(self) -> Fraction:
+        if self.special == "-0":
+            return Fraction(0)
+        if self.value is None:
+            raise ValueError("special value has no numeric")
+        return self.value
+
+
+@register_altmath
+class RationalSystem(AltMathSystem):
+    """``max_denominator=None`` gives exact (unbounded) rationals;
+    setting it emulates *finite-precision* slash arithmetic (Matula &
+    Kornerup): every result is rounded to the best rational with a
+    bounded denominator, keeping operand sizes — and costs — bounded.
+    """
+
+    name = "rational"
+    costs = AltMathCosts(
+        promote=90,
+        demote=110,
+        box=95,
+        compare=60,
+        convert=70,
+        ops={"add": 220, "sub": 220, "mul": 260, "div": 260, "sqrt": 900,
+             "min": 60, "max": 60, "neg": 20, "abs": 20},
+        libm=1500,
+    )
+
+    #: guard precision (bits) for irrational fallbacks.
+    SQRT_PRECISION = 128
+
+    def __init__(self, max_denominator: int | None = None):
+        if max_denominator is not None and max_denominator < 1:
+            raise ValueError("max_denominator must be positive")
+        self.max_denominator = max_denominator
+
+    def _bound(self, value: RationalValue) -> RationalValue:
+        if (
+            self.max_denominator is None
+            or value.special is not None
+            or value.value.denominator <= self.max_denominator
+        ):
+            return value
+        return RationalValue(value.value.limit_denominator(self.max_denominator))
+
+    def promote(self, bits: int) -> RationalValue:
+        if B.is_nan(bits):
+            return RationalValue.nan()
+        if B.is_inf(bits):
+            return RationalValue.inf(B.is_negative(bits))
+        if bits == B.NEG_ZERO_BITS:
+            return RationalValue(None, "-0")
+        return RationalValue(B.bits_to_fraction(bits))
+
+    def demote(self, value: RationalValue) -> int:
+        if value.special == "nan":
+            return B.CANONICAL_QNAN
+        if value.special == "+inf":
+            return B.POS_INF_BITS
+        if value.special == "-inf":
+            return B.NEG_INF_BITS
+        if value.special == "-0":
+            return B.NEG_ZERO_BITS
+        bits_, *_ = B.fraction_to_bits_rne(value.value)
+        return bits_
+
+    def from_i64(self, value: int) -> RationalValue:
+        value &= 0xFFFF_FFFF_FFFF_FFFF
+        if value >= 1 << 63:
+            value -= 1 << 64
+        return RationalValue(Fraction(value))
+
+    def to_i64(self, value: RationalValue, truncate: bool = True) -> int:
+        if value.special in ("nan", "+inf", "-inf"):
+            return 0x8000_0000_0000_0000
+        f = value.numeric()
+        t = int(f) if truncate else round(f)
+        if not (-(2**63) <= t <= 2**63 - 1):
+            return 0x8000_0000_0000_0000
+        return t & 0xFFFF_FFFF_FFFF_FFFF
+
+    def binary(self, op: str, a: RationalValue, b: RationalValue) -> RationalValue:
+        if a.is_nan() or b.is_nan():
+            return RationalValue.nan()
+        if op in ("min", "max"):
+            c = self.compare(a, b)
+            if c == 0 or c is None:
+                return b
+            if op == "min":
+                return a if c < 0 else b
+            return a if c > 0 else b
+        if a.is_inf() or b.is_inf():
+            return self._binary_inf(op, a, b)
+        fa, fb = a.numeric(), b.numeric()
+        if op == "add":
+            return self._bound(RationalValue(fa + fb))
+        if op == "sub":
+            return self._bound(RationalValue(fa - fb))
+        if op == "mul":
+            return self._bound(RationalValue(fa * fb))
+        if op == "div":
+            if fb == 0:
+                if fa == 0:
+                    return RationalValue.nan()
+                neg = (fa < 0) ^ (b.special == "-0")
+                return RationalValue.inf(neg)
+            return self._bound(RationalValue(fa / fb))
+        raise KeyError(op)
+
+    def _binary_inf(self, op: str, a: RationalValue, b: RationalValue) -> RationalValue:
+        # Delegate the (rare) infinity algebra to host doubles.
+        fa = self._to_host(a)
+        fb = self._to_host(b)
+        try:
+            if op == "add":
+                r = fa + fb
+            elif op == "sub":
+                r = fa - fb
+            elif op == "mul":
+                r = fa * fb
+            else:
+                r = fa / fb if fb != 0 else math.copysign(math.inf, fa) * math.copysign(1.0, fb)
+        except (OverflowError, ZeroDivisionError):
+            r = math.nan
+        return self.promote(B.float_to_bits(r))
+
+    @staticmethod
+    def _to_host(v: RationalValue) -> float:
+        if v.special == "+inf":
+            return math.inf
+        if v.special == "-inf":
+            return -math.inf
+        if v.special == "-0":
+            return -0.0
+        return float(v.value)
+
+    def unary(self, op: str, a: RationalValue) -> RationalValue:
+        if a.is_nan():
+            return a
+        if op == "neg":
+            if a.special == "+inf":
+                return RationalValue.inf(True)
+            if a.special == "-inf":
+                return RationalValue.inf(False)
+            if a.special == "-0":
+                return RationalValue(Fraction(0))
+            if a.value == 0:
+                return RationalValue(None, "-0")
+            return RationalValue(-a.value)
+        if op == "abs":
+            if a.is_inf():
+                return RationalValue.inf(False)
+            if a.special == "-0":
+                return RationalValue(Fraction(0))
+            return RationalValue(abs(a.value))
+        if op == "sqrt":
+            if a.special == "+inf":
+                return a
+            if a.special in ("-inf",):
+                return RationalValue.nan()
+            if a.special == "-0":
+                return a
+            f = a.numeric()
+            if f < 0:
+                return RationalValue.nan()
+            if f == 0:
+                return RationalValue(Fraction(0))
+            root = self._sqrt_frac(f)
+            return self._bound(RationalValue(root))
+        raise KeyError(op)
+
+    def _sqrt_frac(self, f: Fraction) -> Fraction:
+        # Exact when f is a perfect square of a rational; else
+        # approximate to SQRT_PRECISION bits.
+        num_r = math.isqrt(f.numerator)
+        den_r = math.isqrt(f.denominator)
+        if num_r * num_r == f.numerator and den_r * den_r == f.denominator:
+            return Fraction(num_r, den_r)
+        prec = self.SQRT_PRECISION
+        scale = 1 << (2 * prec)
+        n = (f.numerator * scale) // f.denominator
+        return Fraction(math.isqrt(n), 1 << prec)
+
+    def compare(self, a: RationalValue, b: RationalValue) -> int | None:
+        if a.is_nan() or b.is_nan():
+            return None
+        ka = self._order_key(a)
+        kb = self._order_key(b)
+        return -1 if ka < kb else (0 if ka == kb else 1)
+
+    @staticmethod
+    def _order_key(v: RationalValue):
+        big = Fraction(1 << 20000)
+        if v.special == "+inf":
+            return big
+        if v.special == "-inf":
+            return -big
+        if v.special == "-0":
+            return Fraction(0)
+        return v.value
+
+    def is_nan_value(self, value: RationalValue) -> bool:
+        return value.is_nan()

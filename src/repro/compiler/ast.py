@@ -1,0 +1,218 @@
+"""AST node definitions for the mini-C compiler.
+
+Two expression families: double-typed (``Expr``) and integer-typed
+(``IExpr``), mirroring the FP/GPR split of the target ISA.  Conditions
+are a third family so codegen can emit fused compare-and-branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ------------------------------------------------------------ double exprs
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Bin:
+    op: str  # '+', '-', '*', '/'
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Neg:
+    expr: object
+
+
+@dataclass(frozen=True)
+class Fma:
+    """a*b + c with a single rounding (compiles to vfmadd213sd)."""
+
+    a: object
+    b: object
+    c: object
+
+
+@dataclass(frozen=True)
+class Sqrt:
+    expr: object  # inline sqrtsd, not a libm call
+
+
+@dataclass(frozen=True)
+class Min:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Max:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Call:
+    """Call a libm or user function returning a double."""
+
+    name: str
+    args: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "args", tuple(self.args))
+
+
+@dataclass(frozen=True)
+class Load:
+    """arr[index] — a double load from a named array."""
+
+    array: str
+    index: object  # IExpr
+
+
+@dataclass(frozen=True)
+class Cast:
+    """int -> double (cvtsi2sd)."""
+
+    expr: object  # IExpr
+
+
+# ----------------------------------------------------------- integer exprs
+@dataclass(frozen=True)
+class INum:
+    value: int
+
+
+@dataclass(frozen=True)
+class IVar:
+    name: str
+
+
+@dataclass(frozen=True)
+class IBin:
+    op: str  # '+', '-', '*', '<<', '>>', '&'
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class ITrunc:
+    """double -> int, truncating (cvttsd2si)."""
+
+    expr: object  # Expr
+
+
+@dataclass(frozen=True)
+class IBits:
+    """arr[index] read as a raw 64-bit integer — the bit-reinterpreting
+    memory escape (``*(long*)&x``) that correctness instrumentation
+    exists for (§2.6)."""
+
+    array: str
+    index: object  # IExpr
+
+
+# -------------------------------------------------------------- conditions
+@dataclass(frozen=True)
+class FCmp:
+    op: str  # '<', '<=', '>', '>=', '==', '!='
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class ICmp:
+    op: str
+    left: object
+    right: object
+
+
+# -------------------------------------------------------------- statements
+@dataclass(frozen=True)
+class Let:
+    """double variable assignment (declares on first use)."""
+
+    name: str
+    expr: object
+
+
+@dataclass(frozen=True)
+class ILet:
+    name: str
+    expr: object
+
+
+@dataclass(frozen=True)
+class Store:
+    array: str
+    index: object  # IExpr
+    expr: object   # Expr
+
+
+@dataclass(frozen=True)
+class For:
+    """for (var = start; var < end; var++) body"""
+
+    var: str
+    start: object  # IExpr
+    end: object    # IExpr
+    body: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "body", tuple(self.body))
+
+
+@dataclass(frozen=True)
+class While:
+    cond: object
+    body: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "body", tuple(self.body))
+
+
+@dataclass(frozen=True)
+class If:
+    cond: object
+    then: tuple = ()
+    orelse: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "then", tuple(self.then))
+        object.__setattr__(self, "orelse", tuple(self.orelse))
+
+
+@dataclass(frozen=True)
+class Print:
+    expr: object
+
+
+@dataclass(frozen=True)
+class PrintPair:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class PrintI:
+    expr: object
+
+
+@dataclass(frozen=True)
+class CallStmt:
+    """Expression statement: call for side effects, result discarded."""
+
+    call: Call
+
+
+@dataclass(frozen=True)
+class Return:
+    expr: object | None = None

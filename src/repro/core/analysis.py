@@ -1,0 +1,118 @@
+"""Static memory-escape analysis (§2.6): the conservative baseline the
+profiler replaces.
+
+The real FPVM performed binary-level Value Set Analysis to find every
+integer instruction a floating point value might flow into through
+memory — equivalent to alias analysis, with runtime and memory demands
+that "tend to explode" (Enzo: days of runtime, terabytes of swap).
+
+This reproduction implements a sound, flow-insensitive abstraction
+over the simulated ISA with the same *precision character*:
+
+- FP stores to **direct** addresses (rip-relative / absolute) taint
+  that 8-byte location precisely;
+- FP stores through **registers** (any base/index addressing) taint a
+  single summary bucket covering all indirect memory — the point where
+  alias analysis gives up without heavyweight value tracking;
+- an integer load is a patch site if it reads a tainted direct
+  location, or reads indirectly while the summary bucket is tainted,
+  or reads any direct location when the summary is tainted (an
+  indirect FP store could have aliased it).
+
+The result is a superset of the profiler's findings (§5.1: "The
+profiler will identify fewer instructions ... because it is
+dynamically considering the flows in a specific run instead of
+statically considering all possible flows").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.isa import Instruction, Mem, OpClass, Reg, Xmm
+from repro.machine.program import Program
+
+#: FP-typed store mnemonics (compilers tag double stores; §5.1 fn 4).
+FP_STORE_MNEMONICS = frozenset(
+    {"movsd", "movapd", "movupd", "movhpd", "movlpd", "movq"}
+)
+
+
+@dataclass
+class AnalysisResult:
+    """Patch sites plus the taint evidence (for tests/diagnostics)."""
+
+    patch_sites: set[int] = field(default_factory=set)
+    tainted_direct: set[int] = field(default_factory=set)
+    indirect_tainted: bool = False
+
+
+def _is_direct(mem: Mem) -> bool:
+    return mem.base is None and mem.index is None
+
+
+def find_memory_escapes(program: Program) -> AnalysisResult:
+    """Run the conservative analysis over the whole text section."""
+    result = AnalysisResult()
+
+    # Pass 1: collect taint.  Flow-insensitive: order doesn't matter,
+    # so one linear scan reaches the fixed point.
+    for instr in program.instructions:
+        mem = instr.memory_operand()
+        if mem is None:
+            continue
+        if _fp_stores_to_memory(instr):
+            if _is_direct(mem):
+                base = mem.disp & ~7
+                result.tainted_direct.add(base)
+                if instr.mnemonic in ("movapd", "movupd"):
+                    result.tainted_direct.add(base + 8)
+            else:
+                result.indirect_tainted = True
+
+    # Pass 2: find integer loads of possibly-FP memory.
+    for instr in program.instructions:
+        mem = instr.memory_operand()
+        if mem is None:
+            continue
+        if not _int_loads_from_memory(instr):
+            continue
+        if _is_direct(mem):
+            if (mem.disp & ~7) in result.tainted_direct or result.indirect_tainted:
+                result.patch_sites.add(instr.addr)
+        else:
+            if result.indirect_tainted or result.tainted_direct:
+                result.patch_sites.add(instr.addr)
+
+    return result
+
+
+def _fp_stores_to_memory(instr: Instruction) -> bool:
+    if instr.mnemonic not in FP_STORE_MNEMONICS:
+        return False
+    dst = instr.operands[0]
+    src = instr.operands[1] if len(instr.operands) > 1 else None
+    # movq only counts as FP-typed when the data comes from an XMM reg.
+    if instr.mnemonic == "movq":
+        return isinstance(dst, Mem) and isinstance(src, Xmm)
+    return isinstance(dst, Mem)
+
+
+def _int_loads_from_memory(instr: Instruction) -> bool:
+    """Integer-side reads: mov/ALU reading memory into the GPR world
+    (plus movq xmm<-mem is FP-typed, excluded)."""
+    if instr.opclass not in (OpClass.INT_MOV, OpClass.INT_ALU):
+        return False
+    if instr.mnemonic in ("lea",):
+        return False  # address computation, no load
+    mem = instr.memory_operand()
+    if mem is None:
+        return False
+    if instr.mnemonic == "mov":
+        return isinstance(instr.operands[1], Mem)
+    if instr.mnemonic == "push":
+        return isinstance(instr.operands[0], Mem)
+    if instr.mnemonic == "pop":
+        return False  # stack read, never app FP data in this model
+    # ALU with a memory operand reads it (either position).
+    return True

@@ -1,0 +1,87 @@
+"""Operand binding (§2.4).
+
+Binding takes a decoded instruction and the trap-time ucontext and
+resolves each operand to a concrete accessor: a register slot or a
+computed memory address.  The emulator then reads/writes through the
+binding without re-deriving addressing.  The ``bind`` ledger category
+charges per operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.isa import GPR_IDS, Imm, Instruction, Label, Mem, Reg, Xmm
+
+U64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+@dataclass
+class BoundOperand:
+    """One resolved operand."""
+
+    kind: str                  # "gpr" | "xmm" | "imm" | "mem"
+    index: int = 0             # register id, or 0
+    address: int = 0           # effective address for "mem"
+    size: int = 8
+    immediate: int = 0
+
+    def read64(self, context, lane: int = 0, fp: bool = False) -> int:
+        if self.kind == "gpr":
+            return context.read_gpr(self.index)
+        if self.kind == "xmm":
+            return context.read_xmm(self.index, lane)
+        if self.kind == "imm":
+            return self.immediate & U64
+        if self.kind == "mem":
+            return context.memory.observed_load(self.address + 8 * lane, self.size, fp)
+        raise ValueError(self.kind)
+
+    def write64(self, context, value: int, lane: int = 0, fp: bool = False) -> None:
+        if self.kind == "gpr":
+            context.write_gpr(self.index, value)
+        elif self.kind == "xmm":
+            context.write_xmm(self.index, value, lane)
+        elif self.kind == "mem":
+            context.memory.observed_store(self.address + 8 * lane, value, self.size, fp)
+        else:
+            raise ValueError(f"cannot write {self.kind} operand")
+
+
+@dataclass
+class Binding:
+    """All operands of one instruction, resolved against one ucontext."""
+
+    instruction: Instruction
+    operands: list
+    #: cycles this binding cost (per-operand), charged by the caller.
+    cost_units: int = 0
+
+
+def effective_address(mem: Mem, context) -> int:
+    ea = mem.disp
+    if mem.base is not None:
+        ea += context.read_gpr(GPR_IDS[mem.base])
+    if mem.index is not None:
+        ea += context.read_gpr(GPR_IDS[mem.index]) * mem.scale
+    return ea & U64
+
+
+def bind(instr: Instruction, context) -> Binding:
+    bound = []
+    for op in instr.operands:
+        if isinstance(op, Reg):
+            bound.append(BoundOperand("gpr", index=op.id))
+        elif isinstance(op, Xmm):
+            bound.append(BoundOperand("xmm", index=op.id))
+        elif isinstance(op, Imm):
+            bound.append(BoundOperand("imm", immediate=op.value))
+        elif isinstance(op, Mem):
+            bound.append(
+                BoundOperand("mem", address=effective_address(op, context), size=op.size)
+            )
+        elif isinstance(op, Label):
+            bound.append(BoundOperand("imm", immediate=op.addr or 0))
+        else:
+            raise TypeError(f"unbindable operand {op!r}")
+    return Binding(instr, bound, cost_units=max(len(bound), 1))

@@ -1,0 +1,57 @@
+"""The decode cache (§2.4), which sequence emulation turns into a
+software trace cache (§4.2).
+
+Keyed by instruction address.  A hit costs ``decache`` cycles; a miss
+invokes the Capstone-analog decoder over the instruction's raw bytes
+and costs ``decode`` cycles.  The default capacity is the paper's: 64K
+entries (runs in the paper never exceed ~2000 live entries; §6.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.machine.decoder import decode_instruction
+from repro.machine.isa import Instruction
+
+
+class DecodeCache:
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Instruction]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, addr: int) -> Instruction | None:
+        instr = self._entries.get(addr)
+        if instr is not None:
+            self.hits += 1
+            self._entries.move_to_end(addr)
+            return instr
+        return None
+
+    def insert(self, addr: int, instr: Instruction) -> None:
+        self._entries[addr] = instr
+        self._entries.move_to_end(addr)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)  # evict LRU
+
+    def decode_miss(self, addr: int, raw: bytes) -> Instruction:
+        """Decode from bytes (the expensive path) and fill the cache."""
+        self.misses += 1
+        instr = decode_instruction(raw, addr=addr)
+        self.insert(addr, instr)
+        return instr
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

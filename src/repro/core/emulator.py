@@ -1,0 +1,327 @@
+"""The instruction emulator (§2.4).
+
+Emulates one decoded+bound instruction against the alternative
+arithmetic system:
+
+- FP arithmetic promotes (or unboxes) sources, computes in altmath,
+  and NaN-boxes the result;
+- results that are genuine NaNs ("real NaNs") are stored as the
+  canonical quiet NaN rather than boxed (§2.3);
+- supported moves (the ~40-opcode subset of §4.2) shuttle raw bit
+  patterns — boxed values travel as bits;
+- everything else is unsupported and terminates emulation sequences.
+
+The default supported-move set deliberately excludes ``movhpd`` /
+``movlpd`` (partial vector moves), reproducing the Figure 7 sequence
+terminator, and excludes ``andpd``/``orpd`` masks while *supporting*
+``xorpd`` (negation) via the sign-bit convention of
+:mod:`repro.core.nanbox`.
+"""
+
+from __future__ import annotations
+
+from repro.core import nanbox
+from repro.core.binding import Binding, bind
+from repro.fpu import bits as B
+from repro.fpu.ieee import UCOMI_EQUAL, UCOMI_GREATER, UCOMI_LESS, UCOMI_UNORDERED
+from repro.machine.isa import Instruction, OpClass
+
+U64 = 0xFFFF_FFFF_FFFF_FFFF
+RSP = 7
+
+#: Instructions the emulator can decode, bind and emulate (§4.2's
+#: "about 40 move opcodes" plus the arithmetic core and cmpxx family).
+DEFAULT_SUPPORTED = frozenset(
+    {
+        # scalar arithmetic
+        "addsd", "subsd", "mulsd", "divsd", "sqrtsd", "minsd", "maxsd",
+        "vfmadd213sd",
+        # packed arithmetic
+        "addpd", "subpd", "mulpd", "divpd", "sqrtpd", "minpd", "maxpd",
+        # compares (the family the baseline FPVM omitted; §4.2)
+        "ucomisd", "comisd",
+        "cmpeqsd", "cmpltsd", "cmplesd", "cmpneqsd", "cmpnltsd",
+        "cmpnlesd", "cmpordsd", "cmpunordsd",
+        # conversions
+        "cvtsi2sd", "cvttsd2si", "cvtsd2si",
+        # FP moves (partial-vector movhpd/movlpd intentionally absent)
+        "movsd", "movapd", "movupd", "movq",
+        # negation via sign-mask xor composes with the box convention
+        "xorpd",
+        # integer moves (the §4.2 extension)
+        "mov", "lea", "push", "pop",
+    }
+)
+
+_CMP_PREDS = {
+    "cmpeqsd": "eq", "cmpltsd": "lt", "cmplesd": "le", "cmpneqsd": "neq",
+    "cmpnltsd": "nlt", "cmpnlesd": "nle", "cmpordsd": "ord",
+    "cmpunordsd": "unord",
+}
+
+#: cmp predicate -> (result_if_unordered, fn(c) for ordered c in {-1,0,1})
+_CMP_TABLES = {
+    "eq": (False, lambda c: c == 0),
+    "lt": (False, lambda c: c < 0),
+    "le": (False, lambda c: c <= 0),
+    "neq": (True, lambda c: c != 0),
+    "nlt": (True, lambda c: not (c < 0)),
+    "nle": (True, lambda c: not (c <= 0)),
+    "ord": (False, lambda c: True),
+    "unord": (True, lambda c: False),
+}
+
+
+class Emulator:
+    """Stateless per-VM emulator; all state lives in the VM (allocator,
+    altmath, ledger, telemetry)."""
+
+    def __init__(self, vm) -> None:
+        self.vm = vm
+        self.supported_set = set(vm.config.supported_instructions)
+
+    # ----------------------------------------------------------- queries
+    def supported(self, instr: Instruction) -> bool:
+        return instr.mnemonic in self.supported_set
+
+    def any_source_boxed(self, instr: Instruction, context) -> bool:
+        """Termination rule (2) probe: does any FP source operand hold a
+        NaN-boxed value owned by our allocator?"""
+        alloc = self.vm.allocator
+        for bits in self._fp_source_bits(instr, context):
+            if nanbox.is_boxed(bits) and alloc.owns(bits & nanbox.NANBOX_PTR_MASK):
+                return True
+        return False
+
+    def _fp_source_bits(self, instr: Instruction, context):
+        mn = instr.mnemonic
+        info = instr.info
+        if info.opclass not in (OpClass.FP_ARITH, OpClass.FP_CVT):
+            return
+        binding = bind(instr, context)
+        ops = binding.operands
+        if mn == "vfmadd213sd":
+            yield ops[0].read64(context, 0, fp=True)
+            yield ops[1].read64(context, 0, fp=True)
+            yield ops[2].read64(context, 0, fp=True)
+            return
+        if mn == "cvtsi2sd":
+            return  # integer source; never boxed
+        if mn in ("cvttsd2si", "cvtsd2si", "sqrtsd"):
+            yield ops[1].read64(context, 0, fp=True)
+            return
+        if mn == "sqrtpd":
+            yield ops[1].read64(context, 0, fp=True)
+            yield ops[1].read64(context, 1, fp=True)
+            return
+        lanes = info.lanes
+        for lane in range(lanes):
+            yield ops[0].read64(context, lane, fp=True)
+            yield ops[1].read64(context, lane, fp=True)
+
+    # --------------------------------------------------------- emulation
+    def emulate(self, instr: Instruction, context) -> bool:
+        """Emulate one instruction; returns False if unsupported.
+        Charges bind/emul/altmath and advances nothing — the caller
+        owns RIP."""
+        if not self.supported(instr):
+            return False
+        vm = self.vm
+        binding = bind(instr, context)
+        vm.charge("bind", vm.costs.bind_per_operand * binding.cost_units)
+        vm.charge("emul", vm.costs.emul_dispatch)
+
+        opclass = instr.opclass
+        mn = instr.mnemonic
+        if opclass in (OpClass.FP_ARITH, OpClass.FP_CVT):
+            self._emulate_fp(mn, instr, binding, context)
+        elif mn == "xorpd":
+            self._emulate_xorpd(binding, context)
+        elif opclass is OpClass.FP_MOV:
+            self._emulate_fp_move(mn, binding, context)
+        else:
+            self._emulate_int_move(mn, binding, context)
+        vm.telemetry.emulated_instructions += 1
+        vm.ledger.count("emulated_instructions")
+        return True
+
+    # ------------------------------------------------------- value flow
+    def _resolve(self, bits: int):
+        """Bits -> alt value (unbox ours, promote everything else)."""
+        vm = self.vm
+        if nanbox.is_boxed(bits):
+            ptr, negated = nanbox.unbox(bits)
+            if vm.allocator.owns(ptr):
+                vm.charge("altmath", vm.altmath.costs.load)
+                value = vm.allocator.load(ptr)
+                if negated:
+                    vm.charge_alt("neg")
+                    value = vm.altmath.unary("neg", value)
+                return value
+        vm.charge("altmath", vm.altmath.costs.promote)
+        vm.telemetry.promotions += 1
+        return vm.altmath.promote(bits)
+
+    def _produce(self, value) -> int:
+        """Alt value -> bits: canonical NaN for real NaNs, else a fresh
+        box."""
+        vm = self.vm
+        if vm.altmath.is_nan_value(value):
+            return B.CANONICAL_QNAN
+        vm.charge("altmath", vm.altmath.costs.box)
+        ptr = vm.allocator.alloc(value)
+        vm.telemetry.boxes_allocated += 1
+        return nanbox.box_bits(ptr)
+
+    def demote_bits(self, bits: int) -> int:
+        """Public helper for wrappers/correctness: collapse a boxed
+        pattern to plain binary64 (identity on everything else)."""
+        vm = self.vm
+        if nanbox.is_boxed(bits):
+            ptr, negated = nanbox.unbox(bits)
+            if vm.allocator.owns(ptr):
+                vm.charge("altmath", vm.altmath.costs.demote)
+                vm.telemetry.demotions += 1
+                out = vm.altmath.demote(vm.allocator.load(ptr))
+                if negated:
+                    out ^= B.F64_SIGN_MASK
+                return out
+        return bits
+
+    # ------------------------------------------------------ FP semantics
+    def _emulate_fp(self, mn: str, instr: Instruction, binding: Binding, context):
+        vm = self.vm
+        ops = binding.operands
+        if mn == "cvtsi2sd":
+            vm.charge_alt_convert()
+            value = vm.altmath.from_i64(ops[1].read64(context, 0, fp=False))
+            ops[0].write64(context, self._produce(value), 0, fp=True)
+            return
+        if mn in ("cvttsd2si", "cvtsd2si"):
+            vm.charge_alt_convert()
+            value = self._resolve(ops[1].read64(context, 0, fp=True))
+            out = vm.altmath.to_i64(value, truncate=(mn == "cvttsd2si"))
+            ops[0].write64(context, out, 0, fp=False)
+            return
+        if mn in ("ucomisd", "comisd"):
+            a = self._resolve(ops[0].read64(context, 0, fp=True))
+            b = self._resolve(ops[1].read64(context, 0, fp=True))
+            vm.charge("altmath", vm.altmath.costs.compare)
+            c = vm.altmath.compare(a, b)
+            packed = (
+                UCOMI_UNORDERED if c is None
+                else UCOMI_EQUAL if c == 0
+                else UCOMI_LESS if c < 0
+                else UCOMI_GREATER
+            )
+            flags = context.flags
+            flags.zf = bool(packed & 1)
+            flags.pf = bool(packed & 2)
+            flags.cf = bool(packed & 4)
+            flags.sf = False
+            flags.of = False
+            return
+        if mn in _CMP_PREDS:
+            pred = _CMP_PREDS[mn]
+            a = self._resolve(ops[0].read64(context, 0, fp=True))
+            b = self._resolve(ops[1].read64(context, 0, fp=True))
+            vm.charge("altmath", vm.altmath.costs.compare)
+            c = vm.altmath.compare(a, b)
+            if_unord, fn = _CMP_TABLES[pred]
+            hit = if_unord if c is None else fn(c)
+            ops[0].write64(context, U64 if hit else 0, 0, fp=True)
+            return
+        if mn == "vfmadd213sd":
+            # dst = src2 * dst + src3 (the 213 operand order).
+            mul2 = self._resolve(ops[1].read64(context, 0, fp=True))
+            mul1 = self._resolve(ops[0].read64(context, 0, fp=True))
+            addend = self._resolve(ops[2].read64(context, 0, fp=True))
+            vm.charge_alt("fma")
+            vm.telemetry.altmath_ops["fma"] += 1
+            result = vm.altmath.fma(mul2, mul1, addend)
+            ops[0].write64(context, self._produce(result), 0, fp=True)
+            return
+        if mn in ("sqrtsd", "sqrtpd"):
+            lanes = 2 if mn == "sqrtpd" else 1
+            for lane in range(lanes):
+                vm.charge_alt("sqrt")
+                value = self._resolve(ops[1].read64(context, lane, fp=True))
+                ops[0].write64(context, self._produce(vm.altmath.unary("sqrt", value)),
+                               lane, fp=True)
+            return
+        # Binary arithmetic: addsd/addpd families.
+        base = instr.info.ieee
+        lanes = instr.info.lanes
+        for lane in range(lanes):
+            a = self._resolve(ops[0].read64(context, lane, fp=True))
+            b = self._resolve(ops[1].read64(context, lane, fp=True))
+            vm.charge_alt(base)
+            vm.telemetry.altmath_ops[base] += 1
+            result = vm.altmath.binary(base, a, b)
+            ops[0].write64(context, self._produce(result), lane, fp=True)
+
+    def _emulate_xorpd(self, binding: Binding, context):
+        ops = binding.operands
+        for lane in range(2):
+            a = ops[0].read64(context, lane, fp=True)
+            b = ops[1].read64(context, lane, fp=True)
+            # Raw xor: correct for plain doubles, and correct for boxed
+            # values when the mask only touches the sign bit (the
+            # compiler idiom) thanks to the negation convention.
+            if nanbox.is_boxed(a) and (b & ~B.F64_SIGN_MASK):
+                # A non-sign mask over a boxed value: demote first.
+                a = self.demote_bits(a)
+            if nanbox.is_boxed(b) and (a & ~B.F64_SIGN_MASK) and not nanbox.is_boxed(a):
+                b = self.demote_bits(b)
+            ops[0].write64(context, (a ^ b) & U64, lane, fp=True)
+
+    def _emulate_fp_move(self, mn: str, binding: Binding, context):
+        ops = binding.operands
+        dst, src = ops
+        if mn == "movsd":
+            if dst.kind == "xmm" and src.kind == "xmm":
+                dst.write64(context, src.read64(context, 0, fp=True), 0, fp=True)
+            elif dst.kind == "xmm":
+                dst.write64(context, src.read64(context, 0, fp=True), 0, fp=True)
+                context.write_xmm(dst.index, 0, 1)  # zero high lane
+            else:
+                dst.write64(context, src.read64(context, 0, fp=True), 0, fp=True)
+        elif mn in ("movapd", "movupd"):
+            lo = src.read64(context, 0, fp=True)
+            hi = src.read64(context, 1, fp=True)
+            dst.write64(context, lo, 0, fp=True)
+            dst.write64(context, hi, 1, fp=True)
+        elif mn == "movq":
+            value = src.read64(context, 0, fp=True)
+            dst.write64(context, value, 0, fp=True)
+            if dst.kind == "xmm":
+                context.write_xmm(dst.index, 0, 1)
+        elif mn == "movhpd":
+            if dst.kind == "xmm":
+                dst.write64(context, src.read64(context, 0, fp=True), 1, fp=True)
+            else:
+                dst.write64(context, src.read64(context, 1, fp=True), 0, fp=True)
+        elif mn == "movlpd":
+            if dst.kind == "xmm":
+                dst.write64(context, src.read64(context, 0, fp=True), 0, fp=True)
+            else:
+                dst.write64(context, src.read64(context, 0, fp=True), 0, fp=True)
+        else:  # pragma: no cover
+            raise KeyError(mn)
+
+    def _emulate_int_move(self, mn: str, binding: Binding, context):
+        ops = binding.operands
+        if mn == "mov":
+            ops[0].write64(context, ops[1].read64(context, 0, fp=False), 0, fp=False)
+        elif mn == "lea":
+            ops[0].write64(context, ops[1].address, 0, fp=False)
+        elif mn == "push":
+            rsp = (context.read_gpr(RSP) - 8) & U64
+            context.write_gpr(RSP, rsp)
+            context.memory.write_u64(rsp, ops[0].read64(context, 0, fp=False))
+        elif mn == "pop":
+            rsp = context.read_gpr(RSP)
+            ops[0].write64(context, context.memory.read_u64(rsp), 0, fp=False)
+            context.write_gpr(RSP, (rsp + 8) & U64)
+        else:  # pragma: no cover
+            raise KeyError(mn)

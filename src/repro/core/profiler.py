@@ -1,0 +1,107 @@
+"""The PIN-like memory-escape profiler (§5.1).
+
+Instruments every memory operation of a *native* profiling run with
+shadow memory:
+
+- an FP-typed store marks its 8-byte block "contains a float";
+- an integer store (or stack release) unmarks the block;
+- an integer load from a marked block records the loading instruction
+  as a patch site.
+
+Developers "patch their application for FPVM by simply profiling it
+with the same workload" — the harness does exactly that before an
+instrumented run.  The profiler finds a subset of the static
+analysis's sites because it observes one concrete execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.cpu import CPU
+from repro.machine.program import Program
+
+
+@dataclass
+class ProfileResult:
+    patch_sites: set[int] = field(default_factory=set)
+    fp_stores: int = 0
+    int_loads_of_floats: int = 0
+    #: addresses of memory blocks that ever held a float (diagnostics).
+    ever_marked: set[int] = field(default_factory=set)
+
+
+class MemoryEscapeProfiler:
+    """Owns a profiling CPU run over an uninstrumented program."""
+
+    def __init__(self, program: Program):
+        # Never instrument the caller's program object.
+        self.program = program.copy()
+        self.program.clear_patches()
+        self.result = ProfileResult()
+        self._marked: set[int] = set()
+        self._current_rip = 0
+        self._stack_floor = 0
+
+    # ---------------------------------------------------------- observer
+    def _observe(self, addr: int, size: int, kind: str, value: int) -> None:
+        block = addr & ~7
+        if kind == "fp_store":
+            self._marked.add(block)
+            if size == 16:
+                self._marked.add(block + 8)
+            self.result.fp_stores += 1
+            self.result.ever_marked.add(block)
+        elif kind == "int_store":
+            self._marked.discard(block)
+        elif kind == "int_load":
+            if block in self._marked:
+                self.result.patch_sites.add(self._current_rip)
+                self.result.int_loads_of_floats += 1
+        # fp_load: no shadow change.
+
+    def _unwind_stack(self, rsp: int) -> None:
+        """Stack unwinding unmarks released slots (§5.1's unmark list)."""
+        if rsp > self._stack_floor:
+            dead = [b for b in self._marked if self._stack_floor <= b < rsp]
+            for b in dead:
+                self._marked.discard(b)
+        self._stack_floor = rsp
+
+    # --------------------------------------------------------------- run
+    def run(self, max_steps: int = 50_000_000) -> ProfileResult:
+        """Drive a fresh, isolated process under instrumentation — PIN
+        instruments the whole process, spawned threads included, and
+        profiling must never have side effects on the process being
+        virtualized."""
+        from repro.machine.process import Process
+
+        process = Process(self.program)
+        process.mem.observers.append(self._observe)
+        floors = {0: process.main.regs.gpr[7]}
+        steps = 0
+        while steps < max_steps:
+            runnable = process.alive()
+            if not runnable:
+                break
+            for thread in runnable:
+                for _ in range(32):
+                    if thread.halted or thread.blocked:
+                        break
+                    self._current_rip = thread.regs.rip
+                    self._stack_floor = floors.setdefault(
+                        thread.tid, thread.regs.gpr[7]
+                    )
+                    thread.step()
+                    rsp = thread.regs.gpr[7]
+                    if rsp != self._stack_floor:
+                        self._unwind_stack(rsp)
+                    floors[thread.tid] = self._stack_floor
+                    steps += 1
+        return self.result
+
+
+def profile_patch_sites(program: Program, max_steps: int = 50_000_000) -> set[int]:
+    """Convenience wrapper: the set of instruction addresses needing
+    correctness patches, per one profiled execution."""
+    return MemoryEscapeProfiler(program).run(max_steps).patch_sites

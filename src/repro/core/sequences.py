@@ -1,0 +1,202 @@
+"""Instruction sequence emulation (§4) and trace statistics (§6.3).
+
+On each #XF trap, FPVM emulates the faulting instruction and then — if
+sequence emulation is enabled — keeps decoding/binding/emulating
+successive instructions until:
+
+(1) it meets an instruction it cannot decode/bind/emulate (including
+    any control flow, any patched instruction, and the deliberately
+    unsupported partial moves like ``movhpd``), or
+(2) it meets an FP instruction it *could* emulate whose source
+    operands carry no NaN-boxed value — emulating it would be
+    unwarranted software execution (§4.1), so FPVM returns to the
+    program and lets it run (and possibly immediately fault) natively.
+
+The decode cache doubles as the software trace cache: the terminator
+is inserted into the cache too, so re-encounters hit on every
+instruction (§4.2).
+
+When statistics collection is on, every distinct trace (sequence of
+instruction addresses) is recorded with its hit count and terminator,
+powering Figures 7-10.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.machine.isa import Instruction
+
+
+@dataclass
+class TraceRecord:
+    addrs: tuple[int, ...]
+    count: int = 0
+    terminator: str = ""          # mnemonic of the terminating instruction
+    reason: str = ""              # "unsupported" | "no_boxed_source" | "single"
+
+    @property
+    def length(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def emulated_instructions(self) -> int:
+        return self.count * self.length
+
+
+class TraceStatistics:
+    """The optional detailed profile of §4.2/§6.3."""
+
+    def __init__(self) -> None:
+        self.traces: dict[tuple[int, ...], TraceRecord] = {}
+
+    def record(self, addrs: tuple[int, ...], terminator: str, reason: str) -> None:
+        rec = self.traces.get(addrs)
+        if rec is None:
+            rec = TraceRecord(addrs=addrs, terminator=terminator, reason=reason)
+            self.traces[addrs] = rec
+        rec.count += 1
+
+    # ------------------------------------------------------- aggregates
+    def total_sequences(self) -> int:
+        return sum(r.count for r in self.traces.values())
+
+    def total_emulated(self) -> int:
+        return sum(r.emulated_instructions for r in self.traces.values())
+
+    def by_popularity(self) -> list[TraceRecord]:
+        """Traces ranked by emulated-instruction contribution."""
+        return sorted(
+            self.traces.values(),
+            key=lambda r: (-r.emulated_instructions, r.addrs),
+        )
+
+    def rank_popularity_cdf(self) -> list[float]:
+        """Figure 8: cumulative % of emulated instructions covered by
+        the top-k traces, for k = 1..N."""
+        total = self.total_emulated()
+        if total == 0:
+            return []
+        out = []
+        acc = 0
+        for rec in self.by_popularity():
+            acc += rec.emulated_instructions
+            out.append(100.0 * acc / total)
+        return out
+
+    def length_cdf(self) -> list[tuple[int, float]]:
+        """Figure 9: CDF over *encountered* sequences of their length."""
+        counts = Counter()
+        for rec in self.traces.values():
+            counts[rec.length] += rec.count
+        total = sum(counts.values())
+        if total == 0:
+            return []
+        out = []
+        acc = 0
+        for length in sorted(counts):
+            acc += counts[length]
+            out.append((length, 100.0 * acc / total))
+        return out
+
+    def weighted_length_by_rank(self) -> list[float]:
+        """Figure 10: if only the top-k traces were cached, what would
+        the average emulated sequence length be?"""
+        out = []
+        n_seq = 0
+        n_instr = 0
+        for rec in self.by_popularity():
+            n_seq += rec.count
+            n_instr += rec.emulated_instructions
+            out.append(n_instr / n_seq)
+        return out
+
+    def average_sequence_length(self) -> float:
+        seqs = self.total_sequences()
+        return self.total_emulated() / seqs if seqs else 0.0
+
+    def format_trace(self, rec: TraceRecord, program) -> str:
+        """Figure 7-style dump: the instructions of a trace, with the
+        terminator annotated."""
+        lines = []
+        for addr in rec.addrs:
+            lines.append(f"  {program.by_addr[addr]}")
+        term_addr = rec.addrs[-1] + program.by_addr[rec.addrs[-1]].size
+        term = program.by_addr.get(term_addr)
+        if term is not None:
+            lines.append(f"* {term}    ; terminator ({rec.reason})")
+        return "\n".join(lines)
+
+
+class SequenceEmulator:
+    """Drives the emulate-until-termination loop for one trap."""
+
+    def __init__(self, vm) -> None:
+        self.vm = vm
+        self.stats = TraceStatistics() if vm.config.collect_trace_stats else None
+
+    def handle_fp_trap(self, context, trap) -> int:
+        """Emulate starting at the faulting instruction; returns the
+        address execution should resume at."""
+        vm = self.vm
+        addr = trap.addr
+        emulated: list[int] = []
+        terminator = ""
+        reason = "single"
+
+        while True:
+            instr = self._fetch(addr)
+            if emulated:
+                stop, why = self._should_stop(instr, context)
+                if stop:
+                    terminator, reason = instr.mnemonic, why
+                    break
+            ok = vm.emulator.emulate(instr, context)
+            if not ok:
+                if not emulated:
+                    raise RuntimeError(
+                        f"faulting instruction {instr} is not emulatable"
+                    )
+                terminator, reason = instr.mnemonic, "unsupported"
+                break
+            emulated.append(addr)
+            addr += instr.size
+            if not vm.config.sequence_emulation:
+                nxt = vm.program.by_addr.get(addr)
+                terminator = nxt.mnemonic if nxt is not None else ""
+                reason = "single"
+                break
+
+        vm.telemetry.sequences += 1
+        if self.stats is not None:
+            self.stats.record(tuple(emulated), terminator, reason)
+        return addr
+
+    def _fetch(self, addr: int) -> Instruction:
+        """Decode-cache lookup with cost charging; misses also insert
+        the sequence-terminating instruction (trace-cache behaviour)."""
+        vm = self.vm
+        cached = vm.decode_cache.lookup(addr)
+        if cached is not None:
+            vm.charge("decache", vm.costs.decode_cache_hit)
+            vm.telemetry.decode_hits += 1
+            return cached
+        vm.charge("decache", vm.costs.decode_cache_hit)  # the failed probe
+        vm.charge("decode", vm.costs.decode_miss)
+        vm.telemetry.decode_misses += 1
+        raw = vm.program.raw_bytes_at(addr)
+        return vm.decode_cache.decode_miss(addr, raw)
+
+    def _should_stop(self, instr: Instruction, context) -> tuple[bool, str]:
+        vm = self.vm
+        # Patched instructions carry correctness hooks that emulation
+        # would silently skip: always hand them back to the CPU.
+        if instr.addr in vm.program.patches:
+            return True, "unsupported"
+        if not vm.emulator.supported(instr):
+            return True, "unsupported"
+        if instr.is_fp_trap_capable() and instr.mnemonic != "cvtsi2sd":
+            if not vm.emulator.any_source_boxed(instr, context):
+                return True, "no_boxed_source"
+        return False, ""

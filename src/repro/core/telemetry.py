@@ -1,0 +1,86 @@
+"""Cycle ledger and run telemetry.
+
+The ledger accumulates cycles in exactly the categories of the paper's
+per-instruction breakdown figures (1, 6, 13): hw, kernel, decache,
+decode, bind, emul, altmath, gc, corr, fcall, ret.  Amortization is
+over *emulated instructions*, matching the figures' x-axes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.machine.costs import LEDGER_CATEGORIES
+
+
+class CycleLedger:
+    """Categorised cycle accounting; also pushes every charge into the
+    CPU's global cycle counter so wall-clock totals stay consistent."""
+
+    def __init__(self, cpu=None) -> None:
+        self.by_category: dict[str, int] = {c: 0 for c in LEDGER_CATEGORIES}
+        self.counters: Counter = Counter()
+        self._cpu = cpu
+
+    def bind_cpu(self, cpu) -> None:
+        self._cpu = cpu
+
+    def charge(self, category: str, cycles: int, *, cpu_time: bool = True) -> None:
+        """Record ``cycles`` under ``category``.
+
+        ``cpu_time=False`` records accounting-only charges for cycles
+        already added to the CPU by someone else (the kernel charges
+        the CPU itself and routes the category here).
+        """
+        if category not in self.by_category:
+            raise KeyError(f"unknown ledger category {category!r}")
+        self.by_category[category] += cycles
+        if cpu_time and self._cpu is not None:
+            self._cpu.cycles += cycles
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def total(self) -> int:
+        return sum(self.by_category.values())
+
+    def amortized(self, emulated_instructions: int | None = None) -> dict[str, float]:
+        """Cycles per emulated instruction, by category (Figure 1/6/13
+        bars)."""
+        n = emulated_instructions
+        if n is None:
+            n = self.counters.get("emulated_instructions", 0)
+        if n == 0:
+            return {c: 0.0 for c in self.by_category}
+        return {c: v / n for c, v in self.by_category.items()}
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.by_category)
+
+
+@dataclass
+class Telemetry:
+    """Everything a run reports besides the ledger."""
+
+    traps: int = 0
+    signal_traps: int = 0
+    short_circuit_traps: int = 0
+    emulated_instructions: int = 0
+    sequences: int = 0
+    decode_hits: int = 0
+    decode_misses: int = 0
+    gc_runs: int = 0
+    gc_objects_collected: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    boxes_allocated: int = 0
+    corr_events: int = 0
+    fcall_events: int = 0
+    altmath_ops: Counter = field(default_factory=Counter)
+
+    @property
+    def avg_sequence_length(self) -> float:
+        if self.sequences == 0:
+            return 0.0
+        return self.emulated_instructions / self.sequences

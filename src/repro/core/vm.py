@@ -1,0 +1,294 @@
+"""The FPVM runtime (§2.1): configuration, attach, trap handlers.
+
+Attachment mirrors the real LD_PRELOAD constructor sequence: install
+signal handlers (or open ``/dev/fpvm_dev`` and register the entry stub
+when trap short-circuiting is on), unmask the MXCSR exceptions, wrap
+foreign functions, find and patch correctness sites, and map the magic
+page.  From then on the virtualized program runs natively until the
+hardware traps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.altmath import get_altmath
+from repro.core import correctness
+from repro.core.alloc import BoxAllocator
+from repro.core.decode_cache import DecodeCache
+from repro.core.emulator import DEFAULT_SUPPORTED, Emulator
+from repro.core import nanbox
+from repro.core.sequences import SequenceEmulator
+from repro.core.telemetry import CycleLedger, Telemetry
+from repro.core.wrappers import install_wrappers
+from repro.core.analysis import find_memory_escapes
+from repro.core.profiler import profile_patch_sites
+from repro.kernel.fpvm_dev import FPVM_IOCTL_REGISTER_ENTRY, FPVMDevice
+from repro.kernel.signals import SIGFPE, SIGTRAP
+from repro.machine.costs import DEFAULT_COSTS
+from repro.machine.program import PatchKind
+from repro.machine.registers import MXCSR_DEFAULT, MXCSR_FPVM
+
+
+@dataclass(frozen=True)
+class FPVMConfig:
+    """One run configuration (the NONE/SEQ/SHORT/SEQ_SHORT axes of §6,
+    plus the §5 correctness machinery and ablation knobs)."""
+
+    altmath: str = "boxed_ieee"
+    altmath_kwargs: dict = field(default_factory=dict)
+    #: §4 instruction sequence emulation (SEQ).
+    sequence_emulation: bool = False
+    #: §3 trap short-circuiting via the kernel module (SHORT).
+    trap_short_circuit: bool = False
+    #: §5.2 magic traps (False = baseline int3 + SIGTRAP).
+    magic_traps: bool = True
+    #: §5.3 foreign-function wrapping (libm + stdio).
+    wrap_foreign: bool = True
+    magic_wraps: bool = True
+    #: §5.1 patch-site discovery: "profiler" | "static" | "none".
+    patch_site_source: str = "profiler"
+    #: precomputed patch sites (harness caches the profiling run).
+    patch_sites: frozenset | None = None
+    gc_threshold: int = 4096
+    decode_cache_capacity: int = 65536
+    collect_trace_stats: bool = True
+    supported_instructions: frozenset = DEFAULT_SUPPORTED
+    #: §2.3 decreased-precision mode: disable the FP hardware so every
+    #: FP instruction traps and is emulated (pair with altmath="lowprec").
+    trap_all_fp: bool = False
+    #: §3.1 future-work: lazy GPR/FPR save/restore in the entry/exit
+    #: stubs (cheaper handler entry at engineering cost in real FPVM).
+    lazy_state_save: bool = False
+    #: §2.3 decreased-precision mode: disable the FP hardware so every
+    #: FP instruction traps and is emulated (pair with altmath="lowprec").
+    trap_all_fp: bool = False
+    #: §3.1 future-work: lazy GPR/FPR save/restore in the entry/exit
+    #: stubs (cheaper handler entry at engineering cost in real FPVM).
+    lazy_state_save: bool = False
+
+    # ------------------------------------------------- §6 preset configs
+    @classmethod
+    def none(cls, **kw) -> "FPVMConfig":
+        return cls(sequence_emulation=False, trap_short_circuit=False, **kw)
+
+    @classmethod
+    def seq(cls, **kw) -> "FPVMConfig":
+        return cls(sequence_emulation=True, trap_short_circuit=False, **kw)
+
+    @classmethod
+    def short(cls, **kw) -> "FPVMConfig":
+        return cls(sequence_emulation=False, trap_short_circuit=True, **kw)
+
+    @classmethod
+    def seq_short(cls, **kw) -> "FPVMConfig":
+        return cls(sequence_emulation=True, trap_short_circuit=True, **kw)
+
+    def with_(self, **kw) -> "FPVMConfig":
+        return replace(self, **kw)
+
+
+class FPVM:
+    """One attached FPVM instance (per process/thread)."""
+
+    def __init__(self, config: FPVMConfig | None = None):
+        self.config = config or FPVMConfig()
+        self.cpu = None
+        self.kernel = None
+        self.program = None
+        self.costs = DEFAULT_COSTS
+        self.ledger = CycleLedger()
+        self.telemetry = Telemetry()
+        self.altmath = get_altmath(self.config.altmath, **self.config.altmath_kwargs)
+        self.allocator = BoxAllocator(gc_threshold=self.config.gc_threshold)
+        self.decode_cache = DecodeCache(self.config.decode_cache_capacity)
+        self.emulator = Emulator(self)
+        self.sequencer = SequenceEmulator(self)
+        self._device_handle = None
+        self._thread_handles = []
+        self.process = None
+        self.attached = False
+
+    # ------------------------------------------------------------ attach
+    def attach(self, cpu, kernel) -> "FPVM":
+        """The LD_PRELOAD constructor: runs before the program's main."""
+        self.cpu = cpu
+        self.kernel = kernel
+        self.program = cpu.program
+        self.costs = cpu.costs
+        self.ledger.bind_cpu(cpu)
+        kernel.ledger = self.ledger
+
+        # Trap delegation: bespoke device or POSIX signals (§2.1, §3).
+        if self.config.trap_short_circuit:
+            device = kernel.fpvm_module or FPVMDevice(kernel)
+            self._device_handle = device.open(cpu)
+            self._device_handle.ioctl(FPVM_IOCTL_REGISTER_ENTRY, self._entry_stub)
+        else:
+            kernel.sigaction(SIGFPE, self._on_sigfpe)
+        kernel.sigaction(SIGTRAP, self._on_sigtrap)
+
+        # Configure the thread's mxcsr to trap (§2.3).
+        cpu.regs.mxcsr = MXCSR_FPVM
+        cpu.fp_disabled = self.config.trap_all_fp
+        cpu.fp_disabled = self.config.trap_all_fp
+
+        # Foreign function wrapping (§5.3).
+        if self.config.wrap_foreign:
+            install_wrappers(self, self.program, magic=self.config.magic_wraps)
+
+        # Magic page + correctness patches (§5.1, §5.2).
+        handler_id = correctness.register_demotion_handler(self._magic_demote)
+        correctness.map_magic_page(cpu, handler_id)
+        for addr in self._discover_patch_sites():
+            if self.config.magic_traps:
+                self.program.patch_call(addr, correctness.MagicTrampoline())
+            else:
+                self.program.patch_int3(addr)
+        self.attached = True
+        return self
+
+    def attach_process(self, process, kernel) -> "FPVM":
+        """Attach to a multi-threaded process (§2.1): virtualize the
+        main thread now and intercept every future thread spawn the way
+        the real FPVM intercepts pthread/clone()."""
+        self.process = process
+        process.kernel = kernel
+        self.attach(process.main, kernel)
+        process.on_thread_spawn.append(self._on_thread_spawn)
+        # Threads spawned before attach (unusual) get contexts too.
+        for thread in process.threads[1:]:
+            self._on_thread_spawn(process, thread)
+        return self
+
+    def _on_thread_spawn(self, process, thread) -> None:
+        """Create this thread's execution context: unmask its MXCSR and
+        register it for short-circuit delivery."""
+        thread.regs.mxcsr = MXCSR_FPVM
+        thread.fp_disabled = self.config.trap_all_fp
+        thread.kernel = self.kernel
+        if self.config.trap_short_circuit:
+            handle = self.kernel.fpvm_module.open(thread)
+            handle.ioctl(FPVM_IOCTL_REGISTER_ENTRY, self._entry_stub)
+            self._thread_handles.append(handle)
+
+    def detach(self) -> None:
+        """Shutdown: close the device (revoking registration) and
+        restore the default FP environment."""
+        if self._device_handle is not None:
+            self._device_handle.close()
+            self._device_handle = None
+        for handle in self._thread_handles:
+            handle.close()
+        self._thread_handles.clear()
+        if self.cpu is not None:
+            self.cpu.regs.mxcsr = MXCSR_DEFAULT
+            self.cpu.fp_disabled = False
+            self.cpu.fp_disabled = False
+        self.attached = False
+
+    def _discover_patch_sites(self):
+        cfg = self.config
+        if cfg.patch_sites is not None:
+            return sorted(cfg.patch_sites)
+        if cfg.patch_site_source == "profiler":
+            return sorted(profile_patch_sites(self.program))
+        if cfg.patch_site_source == "static":
+            return sorted(find_memory_escapes(self.program).patch_sites)
+        if cfg.patch_site_source == "none":
+            return []
+        raise ValueError(f"bad patch_site_source {cfg.patch_site_source!r}")
+
+    # ---------------------------------------------------------- handlers
+    def _on_sigfpe(self, signum, context, trap) -> None:
+        self._handle_fp(context, trap)
+
+    def _entry_stub(self, context, trap) -> None:
+        """Landing pad for short-circuited delivery: the entry stub has
+        already built the live ucontext (§3.1)."""
+        self.telemetry.short_circuit_traps += 1
+        self._handle_fp(context, trap)
+
+    def _handle_fp(self, context, trap) -> None:
+        # Charge the thread that trapped (matters under multithreading).
+        self.ledger.bind_cpu(context.cpu)
+        self.telemetry.traps += 1
+        entry_cost = (
+            self.costs.handler_entry_lazy
+            if self.config.lazy_state_save
+            else self.costs.handler_entry
+        )
+        self.charge("emul", entry_cost)
+        resume = self.sequencer.handle_fp_trap(context, trap)
+        context.rip = resume
+        self._maybe_gc(context)
+
+    def _on_sigtrap(self, signum, context, trap) -> None:
+        """Baseline int3 correctness trap: demote then single-step."""
+        self.charge("corr", self.costs.corr_handler)
+        correctness.demote_instruction_inputs(self, context, trap.addr)
+        context.rip = trap.addr
+        context.suppress_patch_at = trap.addr
+
+    def _magic_demote(self, cpu, addr: int) -> None:
+        """Magic-trap demotion handler (reached via the trampoline and
+        magic page; the call overhead was charged by the CPU)."""
+        self.ledger.charge("corr", self.costs.magic_call + self.costs.magic_save_restore,
+                           cpu_time=False)  # CPU already paid the call
+        self.charge("corr", self.costs.corr_handler)
+        correctness.demote_instruction_inputs(self, cpu, addr)
+
+    # ------------------------------------------------------------ GC
+    def _maybe_gc(self, context) -> None:
+        if not self.allocator.needs_gc():
+            return
+        roots = [context.read_gpr(i) for i in range(16)]
+        for xid in range(16):
+            roots.append(context.read_xmm(xid, 0))
+            roots.append(context.read_xmm(xid, 1))
+        if self.process is not None:
+            # Every thread's registers are GC roots (§2.5's register
+            # scan, per thread).
+            for thread in self.process.threads:
+                if thread is context.cpu:
+                    continue
+                roots.extend(thread.regs.gpr)
+                for lanes in thread.regs.xmm:
+                    roots.extend(lanes)
+        collected, pages = self.allocator.collect(self.cpu, reg_roots=roots)
+        cost = pages * self.costs.gc_per_page
+        cost += (collected + self.allocator.live_count) * self.costs.gc_per_object
+        self.charge("gc", cost)
+        self.telemetry.gc_runs += 1
+        self.telemetry.gc_objects_collected += collected
+
+    # ------------------------------------------------------- accounting
+    def charge(self, category: str, cycles: int) -> None:
+        self.ledger.charge(category, cycles)
+
+    def charge_alt(self, op: str) -> None:
+        self.charge("altmath", self.altmath.costs.op(op))
+
+    def charge_alt_convert(self) -> None:
+        self.charge("altmath", self.altmath.costs.convert)
+
+    # ----------------------------------------------- wrapper-facing API
+    def resolve_bits_to_alt(self, bits: int):
+        """Unbox ours / promote everything else (used by libm wrappers)."""
+        if nanbox.is_boxed(bits):
+            ptr, negated = nanbox.unbox(bits)
+            if self.allocator.owns(ptr):
+                self.charge("altmath", self.altmath.costs.load)
+                value = self.allocator.load(ptr)
+                if negated:
+                    self.charge_alt("neg")
+                    value = self.altmath.unary("neg", value)
+                return value
+        self.charge("altmath", self.altmath.costs.promote)
+        self.telemetry.promotions += 1
+        return self.altmath.promote(bits)
+
+    # ------------------------------------------------------------ stats
+    @property
+    def trace_stats(self):
+        return self.sequencer.stats

@@ -1,0 +1,116 @@
+"""Foreign-function wrapping (§5.3): forward wrappers and magic wraps.
+
+Shared-library functions (the host library) reinterpret FP bits, so any
+call must have NaN-boxed argument registers demoted first.  Two
+installation mechanisms with identical runtime behaviour:
+
+- **forward wrapping**: LD_PRELOAD-style interposition — the wrapper
+  occupies the symbol's slot earlier in the link order.  Hazard: FPVM's
+  own calls to the wrapped function now recurse into the wrapper.
+- **magic wrapping**: the wrapper is registered under a distinct name
+  (``printf$fpvm``) and the program's *symbol table* is rewritten to
+  point at it (the Lief move).  FPVM's namespace stays clean.
+
+libm functions get hand-written *forward-into-altmath* wrappers: the
+argument is promoted (or unboxed), computed in the alternative
+arithmetic system, and the boxed result placed in xmm0 — so ``sin`` of
+a 200-bit value stays 200-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import nanbox
+from repro.machine.hostlib import LIBM_FUNCTIONS
+from repro.machine.program import HostFunction, Program
+
+RAX = 0
+
+
+@dataclass
+class WrapReport:
+    """What got wrapped and how (diagnostics + tests)."""
+
+    demote_wrapped: list[str]
+    libm_wrapped: list[str]
+    mechanism: str  # "magic" | "forward"
+
+
+def install_wrappers(vm, program: Program, magic: bool = True) -> WrapReport:
+    """Generate and install wrappers for every host function that
+    consumes or produces doubles."""
+    demote_wrapped: list[str] = []
+    libm_wrapped: list[str] = []
+    for addr, host in list(program.host_functions.items()):
+        if host.fp_args == 0 and not host.fp_ret:
+            continue
+        if host.name.endswith("$fpvm"):
+            continue  # already a wrapper (re-attach safety)
+        if host.name in LIBM_FUNCTIONS:
+            impl = _make_libm_forward_wrapper(vm, host)
+            libm_wrapped.append(host.name)
+        else:
+            impl = _make_demoting_wrapper(vm, host)
+            demote_wrapped.append(host.name)
+        wrapper = HostFunction(
+            name=f"{host.name}$fpvm",
+            fn=impl,
+            cost=0,  # the wrapper charges its own cost categories
+            fp_args=host.fp_args,
+            fp_ret=host.fp_ret,
+        )
+        waddr = program.register_host_function(wrapper)
+        # Both mechanisms resolve future calls to the wrapper; magic
+        # wrapping does it by symbol-table rewrite, forward wrapping by
+        # link-order interposition.  The observable effect is the same
+        # ("there is no performance difference", §5.3).
+        program.rebind_symbol(host.name, waddr)
+    return WrapReport(demote_wrapped, libm_wrapped, "magic" if magic else "forward")
+
+
+def _make_demoting_wrapper(vm, host: HostFunction):
+    """Stub that demotes double argument registers, then tail-calls the
+    real function (printf and friends)."""
+
+    def wrapper(cpu) -> None:
+        vm.charge("fcall", vm.costs.fcall_wrapper)
+        vm.telemetry.fcall_events += 1
+        vm.ledger.count("fcall_traps")
+        for i in range(host.fp_args):
+            bits = cpu.regs.xmm[i][0]
+            plain = vm.emulator.demote_bits(bits)
+            if plain != bits:
+                cpu.regs.write_xmm_lane(i, 0, plain)
+        cpu.cycles += host.cost
+        host.fn(cpu)
+        # Postprocessing never needs to promote: FP return registers
+        # are caller-save plain doubles (§5.3 footnote 6).
+
+    return wrapper
+
+
+def _make_libm_forward_wrapper(vm, host: HostFunction):
+    """Hand-written libm wrapper: compute in the alternative arithmetic
+    system and box the result (§5.3)."""
+
+    def wrapper(cpu) -> None:
+        vm.charge("fcall", vm.costs.fcall_wrapper)
+        vm.telemetry.fcall_events += 1
+        vm.ledger.count("libm_calls")
+        args = []
+        for i in range(host.fp_args):
+            bits = cpu.regs.xmm[i][0]
+            args.append(vm.resolve_bits_to_alt(bits))
+        vm.charge("altmath", vm.altmath.costs.libm_fn(host.name))
+        result = vm.altmath.libm(host.name, *args)
+        if vm.altmath.is_nan_value(result):
+            out = 0xFFF8_0000_0000_0000  # canonical NaN
+        else:
+            vm.charge("altmath", vm.altmath.costs.box)
+            ptr = vm.allocator.alloc(result)
+            vm.telemetry.boxes_allocated += 1
+            out = nanbox.box_bits(ptr)
+        cpu.regs.write_xmm128(0, out, 0)
+
+    return wrapper

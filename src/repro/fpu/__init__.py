@@ -1,0 +1,55 @@
+"""IEEE-754 binary64 substrate: bit manipulation, an exact operation
+oracle that reports exception flags, and an arbitrary-precision binary
+float (the MPFR stand-in).
+
+Everything in this package is host-independent: values are carried as
+64-bit integer bit patterns so that NaN payloads (which FPVM's NaN-boxing
+relies on) are never laundered through Python ``float`` objects.
+"""
+
+from repro.fpu.bits import (
+    F64_SIGN_MASK,
+    F64_EXP_MASK,
+    F64_FRAC_MASK,
+    F64_QNAN_BIT,
+    CANONICAL_QNAN,
+    POS_INF_BITS,
+    NEG_INF_BITS,
+    float_to_bits,
+    bits_to_float,
+    is_nan,
+    is_snan,
+    is_qnan,
+    is_inf,
+    is_zero,
+    is_subnormal,
+    is_finite,
+    quiet,
+)
+from repro.fpu.ieee import FPFlags, FPResult, ieee_op
+from repro.fpu.softfloat import BigFloat, BigFloatContext
+
+__all__ = [
+    "F64_SIGN_MASK",
+    "F64_EXP_MASK",
+    "F64_FRAC_MASK",
+    "F64_QNAN_BIT",
+    "CANONICAL_QNAN",
+    "POS_INF_BITS",
+    "NEG_INF_BITS",
+    "float_to_bits",
+    "bits_to_float",
+    "is_nan",
+    "is_snan",
+    "is_qnan",
+    "is_inf",
+    "is_zero",
+    "is_subnormal",
+    "is_finite",
+    "quiet",
+    "FPFlags",
+    "FPResult",
+    "ieee_op",
+    "BigFloat",
+    "BigFloatContext",
+]

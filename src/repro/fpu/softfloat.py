@@ -1,0 +1,625 @@
+"""Arbitrary-precision binary floating point with correct rounding.
+
+This is the repo's MPFR stand-in (the paper evaluates FPVM with MPFR at
+200 bits of precision, §6.4).  A :class:`BigFloat` is a software float
+
+    value = (-1)^sign * mantissa * 2^exp
+
+with ``mantissa`` normalized to exactly ``precision`` bits (top bit
+set), rounded to nearest with ties to even — the same rounding contract
+MPFR provides.  Special values (NaN, +/-Inf, +/-0) are carried
+explicitly.
+
+Only what the FPVM emulator needs is implemented: add, sub, mul, div,
+sqrt, neg, abs, comparisons, and conversions to/from binary64 bit
+patterns.  Transcendentals (sin/cos/atan/...) are provided to ~2 ulp by
+computing through argument-reduced Taylor/Newton schemes at extended
+working precision; they back the libm forward wrappers (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.fpu import bits as B
+
+_KIND_FINITE = 0
+_KIND_ZERO = 1
+_KIND_INF = 2
+_KIND_NAN = 3
+
+
+@dataclass(frozen=True)
+class BigFloatContext:
+    """Rounding context: precision in bits (>= 2).
+
+    MPFR's default rounding (RNDN, nearest/even) is the only mode
+    implemented; the paper uses it exclusively.
+    """
+
+    precision: int = 200
+
+    def __post_init__(self) -> None:
+        if self.precision < 2:
+            raise ValueError("precision must be >= 2 bits")
+
+
+DEFAULT_CONTEXT = BigFloatContext(200)
+
+
+class BigFloat:
+    """An immutable arbitrary-precision binary float."""
+
+    __slots__ = ("_kind", "_sign", "_mant", "_exp", "_prec")
+
+    def __init__(self, kind: int, sign: int, mant: int, exp: int, prec: int):
+        self._kind = kind
+        self._sign = sign
+        self._mant = mant
+        self._exp = exp
+        self._prec = prec
+
+    # ---------------------------------------------------------- factories
+    @classmethod
+    def nan(cls, ctx: BigFloatContext = DEFAULT_CONTEXT) -> "BigFloat":
+        return cls(_KIND_NAN, 0, 0, 0, ctx.precision)
+
+    @classmethod
+    def inf(cls, sign: int = 0, ctx: BigFloatContext = DEFAULT_CONTEXT) -> "BigFloat":
+        return cls(_KIND_INF, sign, 0, 0, ctx.precision)
+
+    @classmethod
+    def zero(cls, sign: int = 0, ctx: BigFloatContext = DEFAULT_CONTEXT) -> "BigFloat":
+        return cls(_KIND_ZERO, sign, 0, 0, ctx.precision)
+
+    @classmethod
+    def from_int(cls, value: int, ctx: BigFloatContext = DEFAULT_CONTEXT) -> "BigFloat":
+        if value == 0:
+            return cls.zero(0, ctx)
+        sign = 1 if value < 0 else 0
+        return _round_mant(sign, abs(value), 0, ctx)
+
+    @classmethod
+    def from_fraction(
+        cls, value: Fraction, ctx: BigFloatContext = DEFAULT_CONTEXT
+    ) -> "BigFloat":
+        if value == 0:
+            return cls.zero(0, ctx)
+        sign = 1 if value < 0 else 0
+        return _round_ratio(sign, abs(value.numerator), value.denominator, ctx)
+
+    @classmethod
+    def from_float64_bits(
+        cls, bits: int, ctx: BigFloatContext = DEFAULT_CONTEXT
+    ) -> "BigFloat":
+        if B.is_nan(bits):
+            return cls.nan(ctx)
+        if B.is_inf(bits):
+            return cls.inf(B.sign_bit(bits), ctx)
+        if B.is_zero(bits):
+            return cls.zero(B.sign_bit(bits), ctx)
+        frac = B.bits_to_fraction(bits)
+        sign = 1 if frac < 0 else 0
+        return _round_ratio(sign, abs(frac.numerator), frac.denominator, ctx)
+
+    @classmethod
+    def from_float(cls, x: float, ctx: BigFloatContext = DEFAULT_CONTEXT) -> "BigFloat":
+        return cls.from_float64_bits(B.float_to_bits(x), ctx)
+
+    # ---------------------------------------------------------- inspectors
+    @property
+    def precision(self) -> int:
+        return self._prec
+
+    def is_nan(self) -> bool:
+        return self._kind == _KIND_NAN
+
+    def is_inf(self) -> bool:
+        return self._kind == _KIND_INF
+
+    def is_zero(self) -> bool:
+        return self._kind == _KIND_ZERO
+
+    def is_finite(self) -> bool:
+        return self._kind in (_KIND_FINITE, _KIND_ZERO)
+
+    def is_negative(self) -> bool:
+        return self._sign == 1
+
+    def to_fraction(self) -> Fraction:
+        if self._kind == _KIND_ZERO:
+            return Fraction(0)
+        if self._kind != _KIND_FINITE:
+            raise ValueError("non-finite BigFloat has no rational value")
+        mag = (
+            Fraction(self._mant * (1 << self._exp))
+            if self._exp >= 0
+            else Fraction(self._mant, 1 << -self._exp)
+        )
+        return -mag if self._sign else mag
+
+    def to_float64_bits(self) -> int:
+        """Round to binary64 (nearest-even), preserving signed zero."""
+        if self._kind == _KIND_NAN:
+            return B.CANONICAL_QNAN
+        if self._kind == _KIND_INF:
+            return B.NEG_INF_BITS if self._sign else B.POS_INF_BITS
+        if self._kind == _KIND_ZERO:
+            return B.NEG_ZERO_BITS if self._sign else B.POS_ZERO_BITS
+        rb, _, _, _ = B.fraction_to_bits_rne(self.to_fraction(), self._sign)
+        return rb
+
+    def to_float(self) -> float:
+        return B.bits_to_float(self.to_float64_bits())
+
+    # ---------------------------------------------------------- arithmetic
+    def add(self, other: "BigFloat", ctx: BigFloatContext | None = None) -> "BigFloat":
+        ctx = ctx or BigFloatContext(self._prec)
+        if self.is_nan() or other.is_nan():
+            return BigFloat.nan(ctx)
+        if self.is_inf() or other.is_inf():
+            if self.is_inf() and other.is_inf():
+                if self._sign != other._sign:
+                    return BigFloat.nan(ctx)
+                return BigFloat.inf(self._sign, ctx)
+            return BigFloat.inf(self._sign if self.is_inf() else other._sign, ctx)
+        if self.is_zero() and other.is_zero():
+            # RNDN: -0 + -0 = -0; mixed signs give +0.
+            return BigFloat.zero(self._sign & other._sign, ctx)
+        if self.is_zero():
+            return _round_existing(other, ctx)
+        if other.is_zero():
+            return _round_existing(self, ctx)
+        exact = self.to_fraction() + other.to_fraction()
+        if exact == 0:
+            return BigFloat.zero(0, ctx)
+        return BigFloat.from_fraction(exact, ctx)
+
+    def sub(self, other: "BigFloat", ctx: BigFloatContext | None = None) -> "BigFloat":
+        return self.add(other.neg(), ctx)
+
+    def mul(self, other: "BigFloat", ctx: BigFloatContext | None = None) -> "BigFloat":
+        ctx = ctx or BigFloatContext(self._prec)
+        if self.is_nan() or other.is_nan():
+            return BigFloat.nan(ctx)
+        sign = self._sign ^ other._sign
+        if self.is_inf() or other.is_inf():
+            if self.is_zero() or other.is_zero():
+                return BigFloat.nan(ctx)
+            return BigFloat.inf(sign, ctx)
+        if self.is_zero() or other.is_zero():
+            return BigFloat.zero(sign, ctx)
+        # Exact product of mantissas; a single rounding at the end.
+        mant = self._mant * other._mant
+        exp = self._exp + other._exp
+        return _round_mant(sign, mant, exp, ctx)
+
+    def div(self, other: "BigFloat", ctx: BigFloatContext | None = None) -> "BigFloat":
+        ctx = ctx or BigFloatContext(self._prec)
+        if self.is_nan() or other.is_nan():
+            return BigFloat.nan(ctx)
+        sign = self._sign ^ other._sign
+        if self.is_inf():
+            if other.is_inf():
+                return BigFloat.nan(ctx)
+            return BigFloat.inf(sign, ctx)
+        if other.is_inf():
+            return BigFloat.zero(sign, ctx)
+        if other.is_zero():
+            if self.is_zero():
+                return BigFloat.nan(ctx)
+            return BigFloat.inf(sign, ctx)
+        if self.is_zero():
+            return BigFloat.zero(sign, ctx)
+        num = self._mant
+        den = other._mant
+        exp = self._exp - other._exp
+        return _round_ratio_scaled(sign, num, den, exp, ctx)
+
+    def sqrt(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        ctx = ctx or BigFloatContext(self._prec)
+        if self.is_nan():
+            return BigFloat.nan(ctx)
+        if self.is_zero():
+            return BigFloat.zero(self._sign, ctx)
+        if self._sign:
+            return BigFloat.nan(ctx)
+        if self.is_inf():
+            return BigFloat.inf(0, ctx)
+        # Compute floor(sqrt(m * 2^e)) at precision + guard bits using
+        # integer isqrt, then round-to-nearest-even via the remainder.
+        p = ctx.precision
+        mant, exp = self._mant, self._exp
+        # Scale so that the integer sqrt has >= p+2 significant bits and
+        # the exponent is even (so it halves exactly).
+        target_bits = 2 * (p + 2)
+        shift = max(target_bits - mant.bit_length(), 0)
+        if (exp - shift) % 2 != 0:
+            shift += 1
+        mant <<= shift
+        exp -= shift
+        root = _isqrt(mant)
+        rem = mant - root * root
+        # True sqrt lies in [root, root+1) * 2^(exp/2); the sticky flag
+        # carries the sub-ulp remainder into nearest-even rounding.
+        return _round_mant(0, root, exp // 2, ctx, sticky=rem != 0)
+
+    def neg(self) -> "BigFloat":
+        if self._kind == _KIND_NAN:
+            return self
+        return BigFloat(self._kind, self._sign ^ 1, self._mant, self._exp, self._prec)
+
+    def abs(self) -> "BigFloat":
+        if self._kind == _KIND_NAN:
+            return self
+        return BigFloat(self._kind, 0, self._mant, self._exp, self._prec)
+
+    def fma(
+        self, y: "BigFloat", z: "BigFloat", ctx: BigFloatContext | None = None
+    ) -> "BigFloat":
+        """self*y + z with a single rounding (used by the altmath layer)."""
+        ctx = ctx or BigFloatContext(self._prec)
+        if self.is_nan() or y.is_nan() or z.is_nan():
+            return BigFloat.nan(ctx)
+        if not (self.is_finite() and y.is_finite() and z.is_finite()):
+            # Fall back to two-step for the (rare) non-finite cases; the
+            # special-value outcomes are identical.
+            return self.mul(y, ctx).add(z, ctx)
+        exact = self.to_fraction() * y.to_fraction() + z.to_fraction()
+        if exact == 0:
+            return BigFloat.zero(0, ctx)
+        return BigFloat.from_fraction(exact, ctx)
+
+    # ---------------------------------------------------------- comparison
+    def cmp(self, other: "BigFloat") -> int | None:
+        """-1/0/+1, or None if unordered (either side NaN)."""
+        if self.is_nan() or other.is_nan():
+            return None
+        a = self._cmp_key()
+        b = other._cmp_key()
+        return -1 if a < b else (0 if a == b else 1)
+
+    def _cmp_key(self):
+        if self._kind == _KIND_ZERO:
+            return Fraction(0)
+        if self._kind == _KIND_INF:
+            return Fraction((-1) ** self._sign * (1 << 40000))  # beyond any finite
+        return self.to_fraction()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BigFloat):
+            return NotImplemented
+        return self.cmp(other) == 0
+
+    def __hash__(self) -> int:
+        if self._kind == _KIND_NAN:
+            return hash("bigfloat-nan")
+        if self._kind == _KIND_INF:
+            return hash(("bigfloat-inf", self._sign))
+        return hash(self.to_fraction())
+
+    def __repr__(self) -> str:
+        if self._kind == _KIND_NAN:
+            return "BigFloat(nan)"
+        if self._kind == _KIND_INF:
+            return f"BigFloat({'-' if self._sign else '+'}inf)"
+        if self._kind == _KIND_ZERO:
+            return f"BigFloat({'-' if self._sign else '+'}0, prec={self._prec})"
+        return f"BigFloat({self.to_float()!r}~, prec={self._prec})"
+
+    # ---------------------------------------------------- transcendentals
+    def sin(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "sin", ctx)
+
+    def cos(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "cos", ctx)
+
+    def tan(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "tan", ctx)
+
+    def atan(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "atan", ctx)
+
+    def asin(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "asin", ctx)
+
+    def acos(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "acos", ctx)
+
+    def exp(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "exp", ctx)
+
+    def log(self, ctx: BigFloatContext | None = None) -> "BigFloat":
+        return _transcendental(self, "log", ctx)
+
+
+def _isqrt(n: int) -> int:
+    import math
+
+    return math.isqrt(n)
+
+
+def _round_existing(x: BigFloat, ctx: BigFloatContext) -> BigFloat:
+    """Re-round a finite/zero BigFloat into a (possibly different) context."""
+    if x._kind != _KIND_FINITE:
+        return BigFloat(x._kind, x._sign, 0, 0, ctx.precision)
+    return _round_mant(x._sign, x._mant, x._exp, ctx)
+
+
+def _round_mant(
+    sign: int, mant: int, exp: int, ctx: BigFloatContext, sticky: bool = False
+) -> BigFloat:
+    """Normalize ``mant * 2^exp`` to ctx.precision bits, nearest-even.
+
+    ``sticky`` records that low-order truncated information exists below
+    ``mant`` (used by sqrt's truncated integer root).
+    """
+    if mant == 0:
+        return BigFloat.zero(sign, ctx)
+    p = ctx.precision
+    nbits = mant.bit_length()
+    if nbits <= p:
+        # Any sticky information sits strictly below the ulp, so RNDN
+        # truncates (callers that need exact ties carry >= 1 guard bit).
+        shift = p - nbits
+        return BigFloat(_KIND_FINITE, sign, mant << shift, exp - shift, p)
+    drop = nbits - p
+    kept = mant >> drop
+    rem = mant & ((1 << drop) - 1)
+    half = 1 << (drop - 1)
+    round_up = rem > half or (rem == half and (sticky or (kept & 1)))
+    if round_up:
+        kept += 1
+        if kept.bit_length() > p:
+            kept >>= 1
+            drop += 1
+    return BigFloat(_KIND_FINITE, sign, kept, exp + drop, p)
+
+
+def _round_ratio(sign: int, num: int, den: int, ctx: BigFloatContext) -> BigFloat:
+    return _round_ratio_scaled(sign, num, den, 0, ctx)
+
+
+def _round_ratio_scaled(
+    sign: int, num: int, den: int, exp: int, ctx: BigFloatContext
+) -> BigFloat:
+    """Round ``(num/den) * 2^exp`` to precision bits, nearest-even."""
+    if num == 0:
+        return BigFloat.zero(sign, ctx)
+    p = ctx.precision
+    # Scale num so the integer quotient has exactly p or p+1 bits.
+    shift = p + 1 - (num.bit_length() - den.bit_length())
+    if shift > 0:
+        num <<= shift
+        exp -= shift
+    elif shift < 0:
+        den <<= -shift
+        exp -= shift  # equivalent scaling on the other side
+    q, r = divmod(num, den)
+    # q now has p or p+1 (occasionally p+2) bits; feed through _round_mant
+    # with the sticky remainder.
+    return _round_mant(sign, q, exp, ctx, sticky=r != 0)
+
+
+# --------------------------------------------------------------------------
+# Transcendentals: computed at extended working precision via Fraction
+# Taylor series with argument reduction; results are faithfully rounded
+# (error < 1 ulp at the target precision thanks to 32 guard bits).
+# --------------------------------------------------------------------------
+
+_PI_CACHE: dict[int, Fraction] = {}
+
+
+def _pi(prec: int) -> Fraction:
+    """pi to ``prec`` bits via the Machin-like formula (cached)."""
+    cached = _PI_CACHE.get(prec)
+    if cached is not None:
+        return cached
+    # pi = 16*atan(1/5) - 4*atan(1/239)
+    work = prec + 16
+    pi = 16 * _atan_frac(Fraction(1, 5), work) - 4 * _atan_frac(Fraction(1, 239), work)
+    _PI_CACHE[prec] = pi
+    return pi
+
+
+def _atan_frac(x: Fraction, prec: int) -> Fraction:
+    """atan for |x| <= 1 via argument halving + Taylor series.
+
+    atan(x) = 2*atan(x / (1 + sqrt(1 + x^2))) shrinks the argument below
+    1/4 in a few steps, after which the alternating series converges
+    geometrically.
+    """
+    halvings = 0
+    while abs(x) > Fraction(1, 4):
+        x = x / (1 + _sqrt_frac(1 + x * x, prec + 8))
+        halvings += 1
+    tol = Fraction(1, 1 << (prec + halvings + 2))
+    term = x
+    x2 = x * x
+    total = Fraction(0)
+    n = 0
+    while abs(term) > tol:
+        total += term / (2 * n + 1) * ((-1) ** n)
+        term = term * x2
+        n += 1
+    return total * (1 << halvings)
+
+
+def _sin_frac(x: Fraction, prec: int) -> Fraction:
+    tol = Fraction(1, 1 << prec)
+    term = x
+    total = Fraction(0)
+    n = 1
+    sign = 1
+    while abs(term) > tol:
+        total += sign * term
+        term = term * x * x / ((n + 1) * (n + 2))
+        n += 2
+        sign = -sign
+    return total
+
+
+def _cos_frac(x: Fraction, prec: int) -> Fraction:
+    tol = Fraction(1, 1 << prec)
+    term = Fraction(1)
+    total = Fraction(0)
+    n = 0
+    sign = 1
+    while abs(term) > tol:
+        total += sign * term
+        term = term * x * x / ((n + 1) * (n + 2))
+        n += 2
+        sign = -sign
+    return total
+
+
+def _exp_frac(x: Fraction, prec: int) -> Fraction:
+    # Reduce |x| < 1 by squaring: exp(x) = exp(x/2^k)^(2^k).
+    k = 0
+    while abs(x) > 1:
+        x /= 2
+        k += 1
+    tol = Fraction(1, 1 << (prec + k + 4))
+    term = Fraction(1)
+    total = Fraction(0)
+    n = 0
+    while abs(term) > tol:
+        total += term
+        n += 1
+        term = term * x / n
+    for _ in range(k):
+        total = total * total
+    return total
+
+
+def _log_frac(x: Fraction, prec: int) -> Fraction:
+    """Natural log for x > 0 via atanh series after range reduction."""
+    if x <= 0:
+        raise ValueError("log of non-positive")
+    # Reduce to [2/3, 4/3) by pulling out powers of two: x = m * 2^e.
+    e = 0
+    while x >= Fraction(4, 3):
+        x /= 2
+        e += 1
+    while x < Fraction(2, 3):
+        x *= 2
+        e -= 1
+    # log(x) = 2*atanh((x-1)/(x+1))
+    z = (x - 1) / (x + 1)
+    tol = Fraction(1, 1 << (prec + 4))
+    term = z
+    total = Fraction(0)
+    n = 0
+    z2 = z * z
+    while abs(term) > tol:
+        total += term / (2 * n + 1)
+        term = term * z2
+        n += 1
+    result = 2 * total
+    if e:
+        ln2 = 2 * _atanh_third(prec + 8)
+        result += e * ln2
+    return result
+
+
+def _atanh_third(prec: int) -> Fraction:
+    """atanh(1/3), so ln 2 = 2*atanh(1/3)."""
+    z = Fraction(1, 3)
+    tol = Fraction(1, 1 << prec)
+    term = z
+    total = Fraction(0)
+    n = 0
+    z2 = z * z
+    while abs(term) > tol:
+        total += term / (2 * n + 1)
+        term = term * z2
+        n += 1
+    return total
+
+
+def _transcendental(
+    x: BigFloat, name: str, ctx: BigFloatContext | None
+) -> BigFloat:
+    ctx = ctx or BigFloatContext(x.precision)
+    if x.is_nan():
+        return BigFloat.nan(ctx)
+    work = ctx.precision + 32
+    if x.is_inf():
+        if name == "exp":
+            return BigFloat.zero(0, ctx) if x.is_negative() else BigFloat.inf(0, ctx)
+        if name == "atan":
+            half_pi = _pi(work) / 2
+            return BigFloat.from_fraction(-half_pi if x.is_negative() else half_pi, ctx)
+        if name == "log" and not x.is_negative():
+            return BigFloat.inf(0, ctx)
+        return BigFloat.nan(ctx)
+    v = x.to_fraction() if not x.is_zero() else Fraction(0)
+    if name == "sin":
+        return BigFloat.from_fraction(_sin_frac(_reduce_angle(v, work), work), ctx)
+    if name == "cos":
+        return BigFloat.from_fraction(_cos_frac(_reduce_angle(v, work), work), ctx)
+    if name == "tan":
+        r = _reduce_angle(v, work)
+        c = _cos_frac(r, work)
+        if c == 0:
+            return BigFloat.inf(0, ctx)
+        return BigFloat.from_fraction(_sin_frac(r, work) / c, ctx)
+    if name == "atan":
+        return BigFloat.from_fraction(_atan_any(v, work), ctx)
+    if name == "asin":
+        if abs(v) > 1:
+            return BigFloat.nan(ctx)
+        return BigFloat.from_fraction(_asin_frac(v, work), ctx)
+    if name == "acos":
+        if abs(v) > 1:
+            return BigFloat.nan(ctx)
+        return BigFloat.from_fraction(_pi(work) / 2 - _asin_frac(v, work), ctx)
+    if name == "exp":
+        return BigFloat.from_fraction(_exp_frac(v, work), ctx)
+    if name == "log":
+        if v < 0:
+            return BigFloat.nan(ctx)
+        if v == 0:
+            return BigFloat.inf(1, ctx)
+        return BigFloat.from_fraction(_log_frac(v, work), ctx)
+    raise KeyError(name)
+
+
+def _reduce_angle(x: Fraction, prec: int) -> Fraction:
+    """Reduce to [-pi, pi] for the sin/cos series."""
+    pi = _pi(prec)
+    two_pi = 2 * pi
+    if -pi <= x <= pi:
+        return x
+    k = round(x / two_pi)
+    return x - k * two_pi
+
+
+def _atan_any(x: Fraction, prec: int) -> Fraction:
+    if abs(x) <= 1:
+        return _atan_frac(x, prec)
+    # atan(x) = sign(x)*pi/2 - atan(1/x)
+    half_pi = _pi(prec) / 2
+    inner = _atan_frac(1 / x, prec)
+    return (half_pi - inner) if x > 0 else (-half_pi - inner)
+
+
+def _asin_frac(x: Fraction, prec: int) -> Fraction:
+    if abs(x) == 1:
+        half_pi = _pi(prec) / 2
+        return half_pi if x > 0 else -half_pi
+    # asin(x) = atan(x / sqrt(1-x^2)); sqrt via Newton on Fractions.
+    denom = _sqrt_frac(1 - x * x, prec)
+    return _atan_any(x / denom, prec)
+
+
+def _sqrt_frac(x: Fraction, prec: int) -> Fraction:
+    """sqrt of a nonnegative rational to ~2^-prec via integer isqrt."""
+    if x == 0:
+        return Fraction(0)
+    import math
+
+    scale = 1 << (2 * prec)
+    n = (x.numerator * scale) // x.denominator
+    return Fraction(math.isqrt(n), 1 << prec)

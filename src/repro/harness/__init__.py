@@ -1,0 +1,27 @@
+"""Experiment harness: run configurations, per-figure data generators,
+and ASCII report rendering for every table/figure in the paper's §6."""
+
+from repro.harness.runner import (
+    Comparison,
+    FPVMResult,
+    NativeResult,
+    run_comparison,
+    run_fpvm,
+    run_native,
+)
+from repro.harness.configs import CONFIG_ORDER, named_configs
+from repro.harness import figures
+from repro.harness import report
+
+__all__ = [
+    "Comparison",
+    "FPVMResult",
+    "NativeResult",
+    "run_comparison",
+    "run_fpvm",
+    "run_native",
+    "CONFIG_ORDER",
+    "named_configs",
+    "figures",
+    "report",
+]

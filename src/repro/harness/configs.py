@@ -1,0 +1,22 @@
+"""The four §6 run configurations, in figure order."""
+
+from __future__ import annotations
+
+from repro.core.vm import FPVMConfig
+
+CONFIG_ORDER = ("NONE", "SEQ", "SHORT", "SEQ_SHORT")
+
+
+def named_configs(altmath: str = "boxed_ieee", **common) -> dict[str, FPVMConfig]:
+    """NONE / SEQ / SHORT / SEQ_SHORT with shared extra options.
+
+    Magic traps/wraps and the profiling-based patch finder are always
+    on, as in the paper's §6.2 breakdowns ("our magic trap and wrap
+    acceleration techniques are always enabled").
+    """
+    return {
+        "NONE": FPVMConfig.none(altmath=altmath, **common),
+        "SEQ": FPVMConfig.seq(altmath=altmath, **common),
+        "SHORT": FPVMConfig.short(altmath=altmath, **common),
+        "SEQ_SHORT": FPVMConfig.seq_short(altmath=altmath, **common),
+    }

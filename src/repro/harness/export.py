@@ -1,0 +1,137 @@
+"""JSON export/import of run results.
+
+Reproduction runs should be archivable and diffable: `to_json` captures
+everything a run reports (outputs, cycle ledger, telemetry, trace
+statistics) in a stable schema; `compare_runs` diffs two archives the
+way EXPERIMENTS.md compares paper vs. measured.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result) -> dict:
+    """Serialize an :class:`~repro.harness.runner.FPVMResult`."""
+    stats = result.trace_stats
+    traces = None
+    if stats is not None:
+        traces = [
+            {
+                "addrs": list(rec.addrs),
+                "count": rec.count,
+                "length": rec.length,
+                "terminator": rec.terminator,
+                "reason": rec.reason,
+            }
+            for rec in stats.by_popularity()
+        ]
+    t = result.telemetry
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": result.workload,
+        "config": result.config_name,
+        "cycles": result.cycles,
+        "output": list(result.output),
+        "ledger": dict(result.ledger),
+        "emulated_instructions": result.emulated_instructions,
+        "traps": result.traps,
+        "avg_sequence_length": result.avg_sequence_length,
+        "gc_runs": result.gc_runs,
+        "telemetry": {
+            "short_circuit_traps": t.short_circuit_traps,
+            "decode_hits": t.decode_hits,
+            "decode_misses": t.decode_misses,
+            "promotions": t.promotions,
+            "demotions": t.demotions,
+            "boxes_allocated": t.boxes_allocated,
+            "corr_events": t.corr_events,
+            "fcall_events": t.fcall_events,
+            "gc_objects_collected": t.gc_objects_collected,
+            "altmath_ops": dict(t.altmath_ops),
+        },
+        "traces": traces,
+    }
+
+
+def native_to_dict(native) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": native.workload,
+        "cycles": native.cycles,
+        "instructions": native.instructions,
+        "output": list(native.output),
+    }
+
+
+def comparison_to_dict(comparison) -> dict:
+    """Serialize a :class:`~repro.harness.runner.Comparison`."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": comparison.workload,
+        "native": native_to_dict(comparison.native),
+        "runs": {name: result_to_dict(r) for name, r in comparison.runs.items()},
+        "slowdowns": {name: comparison.slowdown(name) for name in comparison.runs},
+        "lower_bound_slowdowns": {
+            name: comparison.slowdown_from_lower_bound(name)
+            for name in comparison.runs
+        },
+    }
+
+
+def save_json(data: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+def load_json(path) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"archive schema {data.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class RunDelta:
+    """One metric's movement between two archived runs."""
+
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 1.0
+        return self.after / self.before
+
+
+def compare_runs(before: dict, after: dict,
+                 threshold: float = 0.05) -> list[RunDelta]:
+    """Metrics that moved by more than ``threshold`` (fractional)
+    between two `result_to_dict` archives of the same workload+config."""
+    if (before["workload"], before["config"]) != (after["workload"], after["config"]):
+        raise ValueError("archives are from different runs")
+    deltas = []
+    scalars = ["cycles", "emulated_instructions", "traps", "avg_sequence_length",
+               "gc_runs"]
+    for metric in scalars:
+        b, a = before[metric], after[metric]
+        if b == a == 0:
+            continue
+        if b == 0 or abs(a - b) / max(abs(b), 1e-12) > threshold:
+            deltas.append(RunDelta(metric, b, a))
+    for cat in before["ledger"]:
+        b = before["ledger"][cat]
+        a = after["ledger"].get(cat, 0)
+        if b == a == 0:
+            continue
+        if b == 0 or abs(a - b) / max(abs(b), 1e-12) > threshold:
+            deltas.append(RunDelta(f"ledger.{cat}", b, a))
+    return deltas

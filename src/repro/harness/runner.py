@@ -1,0 +1,137 @@
+"""Run driver: native and virtualized executions with telemetry.
+
+Patch-site discovery (the §5.1 profiling run) is cached per workload
+build so a four-config comparison profiles once, like a developer
+would ("patch their application for FPVM by simply profiling it with
+the same workload").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.profiler import profile_patch_sites
+from repro.core.vm import FPVM, FPVMConfig
+from repro.kernel.kernel import LinuxKernel
+from repro.machine.cpu import CPU
+from repro.workloads import build_program
+
+
+@dataclass
+class NativeResult:
+    workload: str
+    cycles: int
+    instructions: int
+    output: list[str]
+
+
+@dataclass
+class FPVMResult:
+    workload: str
+    config_name: str
+    cycles: int
+    output: list[str]
+    ledger: dict[str, int]
+    emulated_instructions: int
+    traps: int
+    avg_sequence_length: float
+    gc_runs: int
+    trace_stats: object  # TraceStatistics or None
+    telemetry: object
+    program: object
+
+    @property
+    def altmath_cycles(self) -> int:
+        return self.ledger["altmath"]
+
+    def amortized(self) -> dict[str, float]:
+        n = max(self.emulated_instructions, 1)
+        return {k: v / n for k, v in self.ledger.items()}
+
+
+@dataclass
+class Comparison:
+    """Native baseline + any number of virtualized runs."""
+
+    workload: str
+    native: NativeResult
+    runs: dict[str, FPVMResult] = field(default_factory=dict)
+
+    def slowdown(self, config_name: str) -> float:
+        """Figure 4/11: wall-cycles ratio vs native."""
+        return self.runs[config_name].cycles / self.native.cycles
+
+    def lower_bound_cycles(self, config_name: str) -> int:
+        """Figure 5's baseline: native + intrinsic altmath time."""
+        return self.native.cycles + self.runs[config_name].altmath_cycles
+
+    def slowdown_from_lower_bound(self, config_name: str) -> float:
+        """Figure 5/12: 1.0 means zero virtualization overhead."""
+        return self.runs[config_name].cycles / self.lower_bound_cycles(config_name)
+
+
+def run_native(workload: str, scale: int | None = None, **kw) -> NativeResult:
+    cpu = CPU(build_program(workload, scale, **kw))
+    cpu.kernel = LinuxKernel()
+    cpu.run()
+    return NativeResult(workload, cpu.cycles, cpu.instruction_count, list(cpu.output))
+
+
+def run_fpvm(
+    workload: str,
+    config: FPVMConfig,
+    config_name: str = "",
+    scale: int | None = None,
+    patch_sites: frozenset | None = None,
+    **kw,
+) -> FPVMResult:
+    program = build_program(workload, scale, **kw)
+    if patch_sites is not None and config.patch_sites is None:
+        config = config.with_(patch_sites=patch_sites)
+    cpu = CPU(program)
+    kernel = LinuxKernel()
+    cpu.kernel = kernel
+    vm = FPVM(config).attach(cpu, kernel)
+    cpu.run()
+    t = vm.telemetry
+    return FPVMResult(
+        workload=workload,
+        config_name=config_name or _config_label(config),
+        cycles=cpu.cycles,
+        output=list(cpu.output),
+        ledger=vm.ledger.snapshot(),
+        emulated_instructions=t.emulated_instructions,
+        traps=t.traps,
+        avg_sequence_length=t.avg_sequence_length,
+        gc_runs=t.gc_runs,
+        trace_stats=vm.trace_stats,
+        telemetry=t,
+        program=program,
+    )
+
+
+def run_comparison(
+    workload: str,
+    configs: dict[str, FPVMConfig],
+    scale: int | None = None,
+    **kw,
+) -> Comparison:
+    """Native + each config, sharing one profiling pass."""
+    native = run_native(workload, scale, **kw)
+    sites = frozenset(profile_patch_sites(build_program(workload, scale, **kw)))
+    comparison = Comparison(workload, native)
+    for name, config in configs.items():
+        comparison.runs[name] = run_fpvm(
+            workload, config, name, scale, patch_sites=sites, **kw
+        )
+    return comparison
+
+
+def _config_label(config: FPVMConfig) -> str:
+    if config.sequence_emulation and config.trap_short_circuit:
+        return "SEQ_SHORT"
+    if config.sequence_emulation:
+        return "SEQ"
+    if config.trap_short_circuit:
+        return "SHORT"
+    return "NONE"

@@ -1,0 +1,27 @@
+"""Linux kernel simulator.
+
+Models the two trap-delegation paths the paper compares:
+
+- the general-purpose POSIX signal path (``sigaction`` registration,
+  kernel -> user SIGFPE/SIGTRAP delivery at ~3800 cycles, ``sigreturn``
+  at ~1800 cycles), and
+- the FPVM kernel module's **trap short-circuiting** path (§3): a
+  process registers its user-space entry point through a ``/dev``
+  ioctl; the stolen #XF handler then hands control straight to the
+  entry stub for ~350 cycles and returns with an ``iretq``-style exit
+  stub, an ~8x reduction in trap delegation cost.
+"""
+
+from repro.kernel.signals import SIGFPE, SIGTRAP, SignalContext
+from repro.kernel.kernel import LinuxKernel
+from repro.kernel.fpvm_dev import FPVMDevice, FPVMDeviceHandle, FPVM_IOCTL_REGISTER_ENTRY
+
+__all__ = [
+    "SIGFPE",
+    "SIGTRAP",
+    "SignalContext",
+    "LinuxKernel",
+    "FPVMDevice",
+    "FPVMDeviceHandle",
+    "FPVM_IOCTL_REGISTER_ENTRY",
+]

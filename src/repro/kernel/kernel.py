@@ -1,0 +1,84 @@
+"""The kernel trap dispatcher.
+
+Hardware traps enter here (cost ``hw``); the kernel either routes #XF
+to the FPVM kernel module's short-circuit path (if the process is
+registered, §3.1) or synthesizes a POSIX signal and delivers it through
+the general-purpose mechanism (cost ``kernel``), returning to user code
+via sigreturn (cost ``ret``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.machine.costs import DEFAULT_COSTS, CostModel
+from repro.machine.cpu import MachineError, Trap, TrapKind
+from repro.kernel.signals import SIGFPE, SIGTRAP, SigactionTable, SignalContext
+
+
+class _NullLedger:
+    """Cycle accounting sink used when FPVM has not attached one."""
+
+    def charge(self, category: str, cycles: int, **kwargs) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+
+class LinuxKernel:
+    """One simulated kernel instance (one process's view of it)."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS):
+        self.costs = costs
+        self.sigactions = SigactionTable()
+        #: installed kernel module (None until FPVM loads it).
+        self.fpvm_module = None
+        self.ledger = _NullLedger()
+        self.trap_counts: Counter = Counter()
+        self.signal_counts: Counter = Counter()
+
+    # ----------------------------------------------------------- syscalls
+    def sigaction(self, signum: int, handler) -> None:
+        self.sigactions.sigaction(signum, handler)
+
+    # ----------------------------------------------------- trap dispatch
+    def deliver_trap(self, cpu, trap: Trap) -> None:
+        """Entry point invoked by the CPU on a hardware trap."""
+        self.trap_counts[trap.kind] += 1
+        self._charge(cpu, "hw", self.costs.hw_trap)
+
+        if trap.kind is TrapKind.XF:
+            module = self.fpvm_module
+            if module is not None and module.is_registered(cpu):
+                # Trap short-circuiting: bypass signal infrastructure.
+                module.short_circuit(self, cpu, trap)
+                return
+            self._signal_path(cpu, SIGFPE, trap)
+        elif trap.kind is TrapKind.BP:
+            self._signal_path(cpu, SIGTRAP, trap)
+        else:  # pragma: no cover - only two trap kinds exist
+            raise MachineError(f"unknown trap kind {trap.kind}")
+
+    def _signal_path(self, cpu, signum: int, trap: Trap) -> None:
+        handler = self.sigactions.lookup(signum)
+        if handler is None:
+            name = "SIGFPE" if signum == SIGFPE else "SIGTRAP"
+            raise MachineError(
+                f"{name} at {trap.addr:#x} with no handler: process killed"
+            )
+        self.signal_counts[signum] += 1
+        # General-purpose delivery: build the signal frame, run handler,
+        # then sigreturn restores the (possibly mutated) frame.
+        self._charge(cpu, "kernel", self.costs.kernel_internal + self.costs.signal_deliver)
+        context = SignalContext(cpu, live=False)
+        handler(signum, context, trap)
+        self._charge(cpu, "ret", self.costs.sigreturn)
+        context.apply()
+
+    # -------------------------------------------------------- accounting
+    def _charge(self, cpu, category: str, cycles: int) -> None:
+        # The kernel owns the CPU-time add; the ledger entry is
+        # accounting-only to avoid double charging.
+        cpu.cycles += cycles
+        self.ledger.charge(category, cycles, cpu_time=False)

@@ -1,0 +1,56 @@
+"""x64-subset machine simulator.
+
+A small but faithful model of the parts of x64 that FPVM cares about:
+
+- 16 64-bit GPRs + 16 128-bit XMM registers + RFLAGS + MXCSR;
+- SSE2 scalar/packed double arithmetic with *precise* IEEE-754
+  exception semantics (via :mod:`repro.fpu.ieee`) and fault-style #XF
+  traps controlled by MXCSR mask bits;
+- the FP/integer porosity that makes x64 "not entirely virtualizable":
+  movq between XMM and GPRs, bitwise ops on XMM (xorpd/andpd), and
+  integer loads of memory that FP stores wrote;
+- byte-addressable paged memory, a SysV-flavoured call ABI, host
+  "shared library" functions (the un-analyzable libc/libm stand-ins),
+  int3 breakpoints and instruction patching;
+- a deterministic cycle cost model (:mod:`repro.machine.costs`)
+  calibrated to the paper's measured constants.
+"""
+
+from repro.machine.isa import (
+    Instruction,
+    Imm,
+    Label,
+    Mem,
+    Reg,
+    Xmm,
+    OPCODES,
+    OpClass,
+)
+from repro.machine.assembler import assemble, AssemblerError
+from repro.machine.program import Program
+from repro.machine.cpu import CPU, Trap, TrapKind, MachineError
+from repro.machine.memory import Memory, PAGE_SIZE
+from repro.machine.decoder import decode_instruction
+from repro.machine.encoding import encode_instruction
+
+__all__ = [
+    "Instruction",
+    "Imm",
+    "Label",
+    "Mem",
+    "Reg",
+    "Xmm",
+    "OPCODES",
+    "OpClass",
+    "assemble",
+    "AssemblerError",
+    "Program",
+    "CPU",
+    "Trap",
+    "TrapKind",
+    "MachineError",
+    "Memory",
+    "PAGE_SIZE",
+    "decode_instruction",
+    "encode_instruction",
+]

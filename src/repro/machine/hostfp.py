@@ -1,0 +1,126 @@
+"""Fast native-value FP evaluation for unvirtualized runs.
+
+When no FP exceptions are unmasked (the native configuration) the CPU
+does not need exception flags — only bit-exact binary64 results.  numpy
+provides exactly hardware IEEE semantics (including NaN payload
+propagation, signed zeros, subnormals and infinities) without Python's
+ZeroDivisionError behaviour, so the native fast path routes through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpu import bits as B
+from repro.fpu.ieee import (
+    UCOMI_EQUAL,
+    UCOMI_GREATER,
+    UCOMI_LESS,
+    UCOMI_UNORDERED,
+)
+
+def _err():
+    # np.errstate objects are not re-entrant; build one per evaluation.
+    return np.errstate(all="ignore")
+
+
+def _f(bits: int) -> np.float64:
+    return np.uint64(bits).view(np.float64)
+
+
+def _b(value: np.float64) -> int:
+    return int(np.float64(value).view(np.uint64))
+
+
+def native_fp(op: str, a: int, b: int | None = None, c: int | None = None) -> int:
+    """Evaluate one scalar op on bit patterns, hardware semantics."""
+    with _err():
+        if op == "add":
+            return _b(_f(a) + _f(b))
+        if op == "sub":
+            return _b(_f(a) - _f(b))
+        if op == "mul":
+            return _b(_f(a) * _f(b))
+        if op == "div":
+            return _b(_f(a) / _f(b))
+        if op == "sqrt":
+            if B.is_nan(a):
+                return B.quiet(a)
+            return _b(np.sqrt(_f(a)))
+        if op == "min":
+            # SSE minsd: src2 on NaN or equality.
+            fa, fb = _f(a), _f(b)
+            if np.isnan(fa) or np.isnan(fb) or fa == fb:
+                return b
+            return a if fa < fb else b
+        if op == "max":
+            fa, fb = _f(a), _f(b)
+            if np.isnan(fa) or np.isnan(fb) or fa == fb:
+                return b
+            return a if fa > fb else b
+        if op in ("ucomi", "comi"):
+            fa, fb = _f(a), _f(b)
+            if np.isnan(fa) or np.isnan(fb):
+                return UCOMI_UNORDERED
+            if fa == fb:
+                return UCOMI_EQUAL
+            return UCOMI_LESS if fa < fb else UCOMI_GREATER
+        if op.startswith("cmp_"):
+            return _native_cmp(op[4:], _f(a), _f(b))
+        if op == "cvtsi2sd":
+            v = a - (1 << 64) if a & (1 << 63) else a
+            return _b(np.float64(v))
+        if op == "cvttsd2si":
+            fa = _f(a)
+            if np.isnan(fa) or np.isinf(fa) or not (-(2.0**63) <= fa < 2.0**63):
+                return 0x8000_0000_0000_0000
+            return int(np.trunc(fa)) & 0xFFFF_FFFF_FFFF_FFFF
+        if op == "cvtsd2si":
+            fa = _f(a)
+            if np.isnan(fa) or np.isinf(fa) or not (-(2.0**63) <= fa < 2.0**63):
+                return 0x8000_0000_0000_0000
+            # Round half to even, like the hardware's default MXCSR.
+            return int(np.rint(fa)) & 0xFFFF_FFFF_FFFF_FFFF
+        if op == "fma":
+            return _native_fma(a, b, c)
+    raise KeyError(f"unknown native FP op {op!r}")
+
+
+def _native_fma(a: int, b: int, c: int) -> int:
+    """Single-rounding a*b+c via exact rationals (numpy lacks fma)."""
+    from fractions import Fraction
+
+    fa, fb, fc = _f(a), _f(b), _f(c)
+    if np.isnan(fa) or np.isnan(fb) or np.isnan(fc) or \
+            np.isinf(fa) or np.isinf(fb) or np.isinf(fc):
+        with _err():
+            return _b(fa * fb + fc)  # special-value algebra matches
+    exact = Fraction(float(fa)) * Fraction(float(fb)) + Fraction(float(fc))
+    bits_, *_ = B.fraction_to_bits_rne(exact)
+    return bits_
+
+
+_ALL_ONES = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _native_cmp(pred: str, fa: np.float64, fb: np.float64) -> int:
+    unordered = bool(np.isnan(fa) or np.isnan(fb))
+    if pred == "eq":
+        r = (not unordered) and fa == fb
+    elif pred == "lt":
+        r = (not unordered) and fa < fb
+    elif pred == "le":
+        r = (not unordered) and fa <= fb
+    elif pred == "unord":
+        r = unordered
+    elif pred == "neq":
+        r = unordered or fa != fb
+    elif pred == "nlt":
+        r = unordered or not (fa < fb)
+    elif pred == "nle":
+        r = unordered or not (fa <= fb)
+    elif pred == "ord":
+        r = not unordered
+    else:
+        raise KeyError(pred)
+    return _ALL_ONES if r else 0

@@ -1,0 +1,202 @@
+"""Processes and threads (§2.1).
+
+FPVM "intercepts the startup of new threads using pthread or clone()
+so that FPVM can create an execution context for each thread", and its
+constructors re-run on fork so subprocesses stay virtualized.  This
+module provides the substrate: a :class:`Process` owns the address
+space and a set of :class:`~repro.machine.cpu.CPU` thread contexts
+scheduled round-robin on one simulated core, plus pthread-flavoured
+host functions (``thread_create`` / ``thread_join``) that binaries can
+call.
+
+Interception hooks: ``Process.on_thread_spawn`` callbacks fire for
+every new thread — that is where FPVM attaches per-thread state (mxcsr
+unmasking, device registration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cpu import CPU, RETURN_SENTINEL
+from repro.machine.isa import GPR_IDS
+from repro.machine.program import HostFunction, Program, STACK_TOP
+
+#: each thread gets a 64 KiB stack carved below the previous one.
+THREAD_STACK_STRIDE = 0x1_0000
+
+RDI = GPR_IDS["rdi"]
+RSI = GPR_IDS["rsi"]
+RAX = GPR_IDS["rax"]
+
+
+class Process:
+    """One simulated process: shared memory, N thread contexts."""
+
+    def __init__(self, program: Program, costs=None, max_instructions: int = 100_000_000):
+        from repro.machine.costs import DEFAULT_COSTS
+
+        self.program = program
+        self.costs = costs or DEFAULT_COSTS
+        self.max_instructions = max_instructions
+        main = CPU(program, self.costs, max_instructions)
+        main.tid = 0
+        main.process = self
+        self.threads: list[CPU] = [main]
+        self.mem = main.mem
+        self._joins: dict[int, int] = {}  # waiting tid -> awaited tid
+        self._next_stack = STACK_TOP - THREAD_STACK_STRIDE
+        #: fired as fn(process, new_thread_cpu) on every spawn.
+        self.on_thread_spawn: list = []
+        self._install_thread_api()
+
+    @property
+    def main(self) -> CPU:
+        return self.threads[0]
+
+    @property
+    def kernel(self):
+        return self.main.kernel
+
+    @kernel.setter
+    def kernel(self, kernel) -> None:
+        for t in self.threads:
+            t.kernel = kernel
+
+    # -------------------------------------------------------------- spawn
+    def spawn(self, entry: int, arg: int = 0) -> int:
+        """clone()-alike: a new thread context sharing the address
+        space, starting at ``entry`` with ``arg`` in rdi."""
+        thread = CPU.__new__(CPU)
+        thread.program = self.program
+        thread.costs = self.costs
+        thread.max_instructions = self.max_instructions
+        thread.mem = self.mem                      # shared address space
+        from repro.machine.registers import RegisterFile
+
+        thread.regs = RegisterFile()
+        thread.cycles = 0
+        thread.instruction_count = 0
+        from collections import Counter
+
+        thread.retired_by_class = Counter()
+        thread.fp_trap_count = 0
+        thread.bp_trap_count = 0
+        thread.output = self.main.output           # shared stdout
+        thread.kernel = self.main.kernel
+        thread.halted = False
+        thread.blocked = False
+        thread.fp_disabled = self.main.fp_disabled
+        thread.process = self
+        thread._suppress_patch_at = None
+        thread._dispatch = thread._build_dispatch()
+
+        rsp = self._next_stack - 64
+        self._next_stack -= THREAD_STACK_STRIDE
+        thread.regs.write_gpr(GPR_IDS["rsp"], rsp)
+        self.mem.write_u64(rsp, RETURN_SENTINEL)
+        thread.regs.rip = entry
+        thread.regs.write_gpr(RDI, arg)
+        thread.tid = len(self.threads)
+        self.threads.append(thread)
+        for hook in self.on_thread_spawn:
+            hook(self, thread)
+        return thread.tid
+
+    # ---------------------------------------------------------------- run
+    def alive(self) -> list[CPU]:
+        out = []
+        for t in self.threads:
+            if t.halted:
+                continue
+            awaited = self._joins.get(t.tid)
+            if awaited is not None:
+                if self.threads[awaited].halted:
+                    del self._joins[t.tid]  # join satisfied
+                    t.blocked = False
+                else:
+                    continue                # still blocked
+            out.append(t)
+        return out
+
+    def run(self, quantum: int = 64, max_steps: int | None = None) -> None:
+        """Round-robin scheduling until every thread halts."""
+        limit = max_steps if max_steps is not None else self.max_instructions
+        steps = 0
+        while True:
+            runnable = self.alive()
+            if not runnable:
+                if all(t.halted for t in self.threads):
+                    return
+                raise RuntimeError("deadlock: all live threads blocked in join")
+            for thread in runnable:
+                for _ in range(quantum):
+                    if thread.halted or thread.blocked:
+                        break
+                    thread.step()
+                    steps += 1
+                    if steps >= limit:
+                        raise RuntimeError(f"process exceeded {limit} steps")
+
+    @property
+    def total_cycles(self) -> int:
+        """Aggregate CPU time across threads (one simulated core)."""
+        return sum(t.cycles for t in self.threads)
+
+    # ----------------------------------------------------------- host API
+    def _install_thread_api(self) -> None:
+        """The host functions dispatch through ``cpu.process`` (set per
+        thread), not a closure over this Process — so a *copied*
+        program run elsewhere (e.g. the §5.1 profiling pass) spawns
+        into its own process, never into this one."""
+        program = self.program
+        if "thread_create" in program.symbols:
+            return  # already installed (e.g. program reuse)
+        program.register_host_function(
+            HostFunction("thread_create", _thread_create, cost=450)
+        )
+        program.register_host_function(
+            HostFunction("thread_join", _thread_join, cost=120)
+        )
+
+
+def _owning_process(cpu) -> "Process":
+    if cpu.process is None:
+        raise RuntimeError(
+            "thread API used by a CPU that is not part of a Process"
+        )
+    return cpu.process
+
+
+def _thread_create(cpu) -> None:
+    proc = _owning_process(cpu)
+    entry = cpu.regs.gpr[RDI]
+    arg = cpu.regs.gpr[RSI]
+    tid = proc.spawn(entry, arg)
+    cpu.regs.write_gpr(RAX, tid)
+
+
+def _thread_join(cpu) -> None:
+    proc = _owning_process(cpu)
+    tid = cpu.regs.gpr[RDI]
+    if not 0 <= tid < len(proc.threads):
+        raise RuntimeError(f"join of unknown thread {tid}")
+    if not proc.threads[tid].halted:
+        proc._joins[cpu.tid] = tid
+        cpu.blocked = True
+    cpu.regs.write_gpr(RAX, 0)
+
+
+def fork_process(parent: Process) -> Process:
+    """fork(): a new process with a copy-on-write-free deep copy of the
+    parent's memory image and a single thread cloned from the caller.
+    FPVM's constructors re-run via the returned process's spawn hooks
+    (the caller re-attaches, as the real LD_PRELOAD constructor does).
+    """
+    child = Process(parent.program.copy(), parent.costs, parent.max_instructions)
+    # Clone memory: replay every mapped page.
+    for page_addr in list(parent.mem._pages):
+        src = parent.mem._pages[page_addr]
+        child.mem._pages[page_addr] = type(src)(bytearray(src.data), src.prot)
+    child.main.regs.restore(parent.main.regs.snapshot())
+    return child

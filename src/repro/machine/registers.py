@@ -1,0 +1,148 @@
+"""Register file: GPRs, XMMs, RFLAGS, MXCSR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.isa import GPR_NAMES, XMM_NAMES
+
+U64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+@dataclass
+class Flags:
+    """The RFLAGS bits the simulated ISA exposes."""
+
+    zf: bool = False
+    sf: bool = False
+    cf: bool = False
+    of: bool = False
+    pf: bool = False
+
+    def copy(self) -> "Flags":
+        return Flags(self.zf, self.sf, self.cf, self.of, self.pf)
+
+    def pack(self) -> int:
+        return (
+            (1 if self.cf else 0)
+            | (4 if self.pf else 0)
+            | (64 if self.zf else 0)
+            | (128 if self.sf else 0)
+            | (2048 if self.of else 0)
+        )
+
+    @classmethod
+    def unpack(cls, value: int) -> "Flags":
+        return cls(
+            zf=bool(value & 64),
+            sf=bool(value & 128),
+            cf=bool(value & 1),
+            of=bool(value & 2048),
+            pf=bool(value & 4),
+        )
+
+
+# MXCSR layout (subset): status flags in bits 0-5, mask bits in 7-12.
+MXCSR_IE = 1 << 0   # invalid
+MXCSR_DE = 1 << 1   # denormal operand
+MXCSR_ZE = 1 << 2   # divide by zero
+MXCSR_OE = 1 << 3   # overflow
+MXCSR_UE = 1 << 4   # underflow
+MXCSR_PE = 1 << 5   # precision (inexact)
+MXCSR_STATUS_MASK = 0x3F
+
+MXCSR_IM = 1 << 7   # invalid masked
+MXCSR_DM = 1 << 8
+MXCSR_ZM = 1 << 9
+MXCSR_OM = 1 << 10
+MXCSR_UM = 1 << 11
+MXCSR_PM = 1 << 12
+MXCSR_MASK_ALL = MXCSR_IM | MXCSR_DM | MXCSR_ZM | MXCSR_OM | MXCSR_UM | MXCSR_PM
+
+# Rounding control (RC) field, bits 13-14: 00 nearest, 01 down (toward
+# -inf), 10 up (toward +inf), 11 toward zero.
+MXCSR_RC_SHIFT = 13
+MXCSR_RC_MASK = 0b11 << MXCSR_RC_SHIFT
+RC_NEAREST, RC_DOWN, RC_UP, RC_ZERO = 0, 1, 2, 3
+_RC_MODE_NAMES = {RC_NEAREST: "ne", RC_DOWN: "dn", RC_UP: "up", RC_ZERO: "zr"}
+
+
+def rounding_mode(mxcsr: int) -> str:
+    """The :mod:`repro.fpu.bits` mode string selected by MXCSR.RC."""
+    return _RC_MODE_NAMES[(mxcsr & MXCSR_RC_MASK) >> MXCSR_RC_SHIFT]
+
+
+def with_rounding(mxcsr: int, rc: int) -> int:
+    return (mxcsr & ~MXCSR_RC_MASK) | (rc << MXCSR_RC_SHIFT)
+
+#: Power-on MXCSR: all exceptions masked (the native configuration).
+MXCSR_DEFAULT = MXCSR_MASK_ALL
+
+#: FPVM's MXCSR: unmask Invalid, Denormal, Overflow, Underflow and
+#: Precision so each of those conditions faults (§2.3).  Divide-by-zero
+#: stays masked in the paper's configuration only insofar as it is not
+#: listed; we unmask it too since 0/0 raises Invalid anyway and x/0
+#: produces an infinity FPVM wants to see.
+MXCSR_FPVM = 0
+
+
+def unmasked_status(mxcsr: int) -> int:
+    """Status bits (0-5) whose corresponding mask bit (7-12) is clear."""
+    status = mxcsr & MXCSR_STATUS_MASK
+    masks = (mxcsr >> 7) & MXCSR_STATUS_MASK
+    return status & ~masks
+
+
+@dataclass
+class RegisterFile:
+    """All architectural registers.
+
+    XMM registers are stored as pairs of 64-bit lanes (lane 0 is the
+    scalar-double lane).  GPRs are unsigned 64-bit ints.
+    """
+
+    gpr: list[int] = field(default_factory=lambda: [0] * len(GPR_NAMES))
+    xmm: list[list[int]] = field(
+        default_factory=lambda: [[0, 0] for _ in range(len(XMM_NAMES))]
+    )
+    rip: int = 0
+    flags: Flags = field(default_factory=Flags)
+    mxcsr: int = MXCSR_DEFAULT
+
+    def read_gpr(self, rid: int) -> int:
+        return self.gpr[rid]
+
+    def write_gpr(self, rid: int, value: int) -> None:
+        self.gpr[rid] = value & U64
+
+    def read_xmm_lane(self, xid: int, lane: int) -> int:
+        return self.xmm[xid][lane]
+
+    def write_xmm_lane(self, xid: int, lane: int, value: int) -> None:
+        self.xmm[xid][lane] = value & U64
+
+    def read_xmm128(self, xid: int) -> tuple[int, int]:
+        lanes = self.xmm[xid]
+        return (lanes[0], lanes[1])
+
+    def write_xmm128(self, xid: int, lo: int, hi: int) -> None:
+        self.xmm[xid][0] = lo & U64
+        self.xmm[xid][1] = hi & U64
+
+    def snapshot(self) -> dict:
+        """A ucontext-style snapshot (used by signal frames and the
+        short-circuit entry stub)."""
+        return {
+            "gpr": list(self.gpr),
+            "xmm": [list(lanes) for lanes in self.xmm],
+            "rip": self.rip,
+            "flags": self.flags.copy(),
+            "mxcsr": self.mxcsr,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.gpr = list(snap["gpr"])
+        self.xmm = [list(lanes) for lanes in snap["xmm"]]
+        self.rip = snap["rip"]
+        self.flags = snap["flags"].copy()
+        self.mxcsr = snap["mxcsr"]

@@ -1,0 +1,27 @@
+"""The paper's benchmark/application suite (§6).
+
+- ``lorenz`` — a Lorenz-system simulator the authors wrote: one big
+  straight-line FP loop body, the long-sequence champion (~32
+  instructions per trap in the paper).
+- ``three_body`` — a three-body gravity simulation that logs positions
+  to "the filesystem" heavily (more foreign-call + correctness events).
+- ``double_pendulum`` — a chaotic double pendulum: trig-heavy ODE.
+- ``fbench`` — John Walker's optical ray-tracing benchmark: lens-
+  surface transits dominated by trigonometric libm calls, which break
+  sequences early (avg ~4 in the paper).
+- ``ffbench`` — Walker's FFT benchmark: butterfly loops with heavy
+  integer index arithmetic threaded through the FP work.
+- ``enzo`` — a structured-grid hydrodynamics mini-app (Sod shock tube
+  with an HLL Riemann solver) standing in for the 307 kLoC Enzo: many
+  distinct basic blocks => many distinct short sequences, large arrays
+  => more GC pressure.
+"""
+
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    Workload,
+    build_program,
+    get_workload,
+)
+
+__all__ = ["WORKLOAD_NAMES", "Workload", "build_program", "get_workload"]

@@ -1,0 +1,77 @@
+"""Double pendulum simulator (the paper's ``double_pendulum``).
+
+The classic chaotic double pendulum with the full Lagrangian equations
+of motion — every step calls sin/cos repeatedly, so the workload mixes
+libm forward-wrapper traffic into medium-length FP sequences.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    Bin, Call, For, INum, Let, Module, Neg, Num, Print, Var,
+)
+
+
+def build(scale: int = 60) -> Module:
+    m = Module()
+    main = m.function("main")
+    # masses, lengths, gravity
+    main.emit(Let("m1", Num(1.0)))
+    main.emit(Let("m2", Num(1.0)))
+    main.emit(Let("l1", Num(1.0)))
+    main.emit(Let("l2", Num(1.0)))
+    main.emit(Let("g", Num(9.81)))
+    main.emit(Let("dt", Num(0.002)))
+    # state: angles and angular velocities
+    main.emit(Let("t1", Num(2.0)))
+    main.emit(Let("t2", Num(1.5)))
+    main.emit(Let("w1", Num(0.0)))
+    main.emit(Let("w2", Num(0.0)))
+
+    body = [
+        Let("delta", Bin("-", Var("t1"), Var("t2"))),
+        Let("sd", Call("sin", [Var("delta")])),
+        Let("cd", Call("cos", [Var("delta")])),
+        Let("s1", Call("sin", [Var("t1")])),
+        Let("s2", Call("sin", [Var("t2")])),
+        Let("msum", Bin("+", Var("m1"), Var("m2"))),
+        Let("den", Bin("-", Var("msum"),
+                       Bin("*", Var("m2"), Bin("*", Var("cd"), Var("cd"))))),
+        # alpha1 numerator
+        Let("n1a", Neg(Bin("*", Bin("*", Var("m2"), Var("l1")),
+                           Bin("*", Bin("*", Var("w1"), Var("w1")),
+                               Bin("*", Var("sd"), Var("cd")))))),
+        Let("n1b", Neg(Bin("*", Bin("*", Var("m2"), Var("l2")),
+                           Bin("*", Bin("*", Var("w2"), Var("w2")), Var("sd"))))),
+        Let("n1c", Neg(Bin("*", Bin("*", Var("msum"), Var("g")), Var("s1")))),
+        Let("n1d", Bin("*", Bin("*", Var("m2"), Var("g")),
+                       Bin("*", Call("sin", [Var("t2")]), Var("cd")))),
+        Let("a1", Bin("/",
+                      Bin("+", Bin("+", Var("n1a"), Var("n1b")),
+                          Bin("+", Var("n1c"), Var("n1d"))),
+                      Bin("*", Var("l1"), Var("den")))),
+        # alpha2 numerator
+        Let("n2a", Bin("*", Bin("*", Var("msum"), Var("l1")),
+                       Bin("*", Bin("*", Var("w1"), Var("w1")), Var("sd")))),
+        Let("n2b", Bin("*", Bin("*", Var("m2"), Var("l2")),
+                       Bin("*", Bin("*", Var("w2"), Var("w2")),
+                           Bin("*", Var("sd"), Var("cd"))))),
+        Let("n2c", Bin("*", Bin("*", Var("msum"), Var("g")),
+                       Bin("*", Var("s1"), Var("cd")))),
+        Let("n2d", Neg(Bin("*", Bin("*", Var("msum"), Var("g")), Var("s2")))),
+        Let("a2", Bin("/",
+                      Bin("+", Bin("+", Var("n2a"), Var("n2b")),
+                          Bin("+", Var("n2c"), Var("n2d"))),
+                      Bin("*", Var("l2"), Var("den")))),
+        # integrate
+        Let("w1", Bin("+", Var("w1"), Bin("*", Var("dt"), Var("a1")))),
+        Let("w2", Bin("+", Var("w2"), Bin("*", Var("dt"), Var("a2")))),
+        Let("t1", Bin("+", Var("t1"), Bin("*", Var("dt"), Var("w1")))),
+        Let("t2", Bin("+", Var("t2"), Bin("*", Var("dt"), Var("w2")))),
+    ]
+    main.emit(For("step", INum(0), INum(scale), body))
+    main.emit(Print(Var("t1")))
+    main.emit(Print(Var("t2")))
+    main.emit(Print(Var("w1")))
+    main.emit(Print(Var("w2")))
+    return m

@@ -1,0 +1,204 @@
+"""mini-Enzo: a structured-grid hydrodynamics simulator.
+
+Stand-in for Enzo (the 307 kLoC astrophysics AMR hydro code the paper
+evaluates; §2.7, §6).  What matters for FPVM is Enzo's *workload
+character*, not its astrophysics: a large instruction footprint spread
+over many distinct basic blocks (the paper measures ~600 distinct
+sequences averaging only ~3 instructions), heavy array traffic, and
+lots of temporary FP values (more GC).
+
+This module implements a 1D compressible-Euler solver on the Sod shock
+tube: conservative variables (rho, rho*u, E) on a grid, an HLL
+approximate Riemann solver with per-interface wave-speed estimates,
+minmod-limited data, CFL time-step computation (a grid-wide reduction
+with branches), and a conservative update — five distinct loop nests
+with branchy interiors, giving exactly the many-short-sequences
+profile.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    Bin, Call, FCmp, For, IBin, INum, IVar, If, Let, Load, Max, Min,
+    Module, Num, Print, Return, Sqrt, Store, Var,
+)
+
+GAMMA = 1.4
+
+
+def build(scale: int = 24, steps: int = 3) -> Module:
+    """``scale`` grid cells, ``steps`` hydro steps."""
+    n = scale
+    m = Module()
+    for name in ("rho", "mom", "ener", "frho", "fmom", "fener",
+                 "drho", "dmom", "dener"):
+        m.data_array(name, n + 1)
+
+    # minmod(a, b): the slope limiter — three-way branchy, called per
+    # cell per variable, the canonical source of short FP sequences.
+    mm = m.function("minmod", params=("a", "b"))
+    mm.emit(If(FCmp("<=", Bin("*", Var("a"), Var("b")), Num(0.0)),
+               [Return(Num(0.0))]))
+    mm.emit(If(FCmp("<", Call("fabs", [Var("a")]), Call("fabs", [Var("b")])),
+               [Return(Var("a"))]))
+    mm.emit(Return(Var("b")))
+
+    main = m.function("main")
+    main.emit(Let("gamma", Num(GAMMA)))
+    main.emit(Let("gm1", Num(GAMMA - 1.0)))
+    main.emit(Let("dx", Bin("/", Num(1.0), Num(float(n)))))
+    main.emit(Let("cfl", Num(0.4)))
+
+    # --- Sod initial conditions: (rho, p) = (1, 1) | (0.125, 0.1).
+    main.emit(For("i", INum(0), INum(n), [
+        If(ICmp_lt_half("i", n),
+           [
+               Store("rho", IVar("i"), Num(1.0)),
+               Store("mom", IVar("i"), Num(0.0)),
+               Store("ener", IVar("i"), Num(1.0 / (GAMMA - 1.0))),
+           ],
+           [
+               Store("rho", IVar("i"), Num(0.125)),
+               Store("mom", IVar("i"), Num(0.0)),
+               Store("ener", IVar("i"), Num(0.1 / (GAMMA - 1.0))),
+           ]),
+    ]))
+
+    hydro_step = []
+    # --- CFL: dt = cfl * dx / max(|u| + c)
+    hydro_step += [
+        Let("smax", Num(1e-12)),
+        For("i", INum(0), INum(n), [
+            Let("r", Load("rho", IVar("i"))),
+            Let("u", Bin("/", Load("mom", IVar("i")), Var("r"))),
+            Let("ke", Bin("*", Num(0.5), Bin("*", Var("r"), Bin("*", Var("u"), Var("u"))))),
+            Let("p", Bin("*", Var("gm1"), Bin("-", Load("ener", IVar("i")), Var("ke")))),
+            Let("c", Sqrt(Bin("/", Bin("*", Var("gamma"), Var("p")), Var("r")))),
+            Let("s", Bin("+", Call("fabs", [Var("u")]), Var("c"))),
+            If(FCmp(">", Var("s"), Var("smax")), [Let("smax", Var("s"))]),
+        ]),
+        Let("dt", Bin("/", Bin("*", Var("cfl"), Var("dx")), Var("smax"))),
+    ]
+    # --- minmod-limited slopes per conserved variable (MUSCL prep).
+    hydro_step += [
+        For("i", INum(1), INum(n - 1), [
+            Store("drho", IVar("i"), Call("minmod", [
+                Bin("-", Load("rho", IVar("i")), Load("rho", IBin("-", IVar("i"), INum(1)))),
+                Bin("-", Load("rho", IBin("+", IVar("i"), INum(1))), Load("rho", IVar("i"))),
+            ])),
+            Store("dmom", IVar("i"), Call("minmod", [
+                Bin("-", Load("mom", IVar("i")), Load("mom", IBin("-", IVar("i"), INum(1)))),
+                Bin("-", Load("mom", IBin("+", IVar("i"), INum(1))), Load("mom", IVar("i"))),
+            ])),
+            Store("dener", IVar("i"), Call("minmod", [
+                Bin("-", Load("ener", IVar("i")), Load("ener", IBin("-", IVar("i"), INum(1)))),
+                Bin("-", Load("ener", IBin("+", IVar("i"), INum(1))), Load("ener", IVar("i"))),
+            ])),
+        ]),
+    ]
+    # --- HLL fluxes at each interior interface i (between i-1 and i).
+    hydro_step += [
+        For("i", INum(1), INum(n), [
+            # left state (MUSCL-reconstructed with the limited slopes)
+            Let("rl", Bin("+", Load("rho", IBin("-", IVar("i"), INum(1))),
+                          Bin("*", Num(0.5), Load("drho", IBin("-", IVar("i"), INum(1)))))),
+            Let("ul", Bin("/",
+                          Bin("+", Load("mom", IBin("-", IVar("i"), INum(1))),
+                              Bin("*", Num(0.5), Load("dmom", IBin("-", IVar("i"), INum(1))))),
+                          Var("rl"))),
+            Let("el", Bin("+", Load("ener", IBin("-", IVar("i"), INum(1))),
+                          Bin("*", Num(0.5), Load("dener", IBin("-", IVar("i"), INum(1)))))),
+            Let("pl", Bin("*", Var("gm1"), Bin("-", Var("el"),
+                Bin("*", Num(0.5), Bin("*", Var("rl"), Bin("*", Var("ul"), Var("ul"))))))),
+            Let("cl", Sqrt(Bin("/", Bin("*", Var("gamma"), Var("pl")), Var("rl")))),
+            # right state (reconstructed toward the interface)
+            Let("rr", Bin("-", Load("rho", IVar("i")),
+                          Bin("*", Num(0.5), Load("drho", IVar("i"))))),
+            Let("ur", Bin("/",
+                          Bin("-", Load("mom", IVar("i")),
+                              Bin("*", Num(0.5), Load("dmom", IVar("i")))),
+                          Var("rr"))),
+            Let("er", Bin("-", Load("ener", IVar("i")),
+                          Bin("*", Num(0.5), Load("dener", IVar("i"))))),
+            Let("pr", Bin("*", Var("gm1"), Bin("-", Var("er"),
+                Bin("*", Num(0.5), Bin("*", Var("rr"), Bin("*", Var("ur"), Var("ur"))))))),
+            Let("cr", Sqrt(Bin("/", Bin("*", Var("gamma"), Var("pr")), Var("rr")))),
+            # wave speed estimates
+            Let("sl", Min(Bin("-", Var("ul"), Var("cl")), Bin("-", Var("ur"), Var("cr")))),
+            Let("sr", Max(Bin("+", Var("ul"), Var("cl")), Bin("+", Var("ur"), Var("cr")))),
+            # physical fluxes left/right
+            Let("f1l", Bin("*", Var("rl"), Var("ul"))),
+            Let("f2l", Bin("+", Bin("*", Bin("*", Var("rl"), Var("ul")), Var("ul")), Var("pl"))),
+            Let("f3l", Bin("*", Var("ul"), Bin("+", Var("el"), Var("pl")))),
+            Let("f1r", Bin("*", Var("rr"), Var("ur"))),
+            Let("f2r", Bin("+", Bin("*", Bin("*", Var("rr"), Var("ur")), Var("ur")), Var("pr"))),
+            Let("f3r", Bin("*", Var("ur"), Bin("+", Var("er"), Var("pr")))),
+            # HLL selection
+            If(FCmp(">=", Var("sl"), Num(0.0)), [
+                Store("frho", IVar("i"), Var("f1l")),
+                Store("fmom", IVar("i"), Var("f2l")),
+                Store("fener", IVar("i"), Var("f3l")),
+            ], [
+                If(FCmp("<=", Var("sr"), Num(0.0)), [
+                    Store("frho", IVar("i"), Var("f1r")),
+                    Store("fmom", IVar("i"), Var("f2r")),
+                    Store("fener", IVar("i"), Var("f3r")),
+                ], [
+                    Let("ds", Bin("-", Var("sr"), Var("sl"))),
+                    Let("srl", Bin("*", Var("sr"), Var("sl"))),
+                    Store("frho", IVar("i"), Bin("/",
+                        Bin("+", Bin("-", Bin("*", Var("sr"), Var("f1l")),
+                                     Bin("*", Var("sl"), Var("f1r"))),
+                            Bin("*", Var("srl"), Bin("-", Var("rr"), Var("rl")))),
+                        Var("ds"))),
+                    Store("fmom", IVar("i"), Bin("/",
+                        Bin("+", Bin("-", Bin("*", Var("sr"), Var("f2l")),
+                                     Bin("*", Var("sl"), Var("f2r"))),
+                            Bin("*", Var("srl"),
+                                Bin("-", Load("mom", IVar("i")),
+                                    Load("mom", IBin("-", IVar("i"), INum(1)))))),
+                        Var("ds"))),
+                    Store("fener", IVar("i"), Bin("/",
+                        Bin("+", Bin("-", Bin("*", Var("sr"), Var("f3l")),
+                                     Bin("*", Var("sl"), Var("f3r"))),
+                            Bin("*", Var("srl"), Bin("-", Var("er"), Var("el")))),
+                        Var("ds"))),
+                ]),
+            ]),
+        ]),
+    ]
+    # --- conservative update (interior cells; transmissive boundaries).
+    hydro_step += [
+        Let("lam", Bin("/", Var("dt"), Var("dx"))),
+        For("i", INum(1), INum(n - 1), [
+            Store("rho", IVar("i"), Bin("-", Load("rho", IVar("i")),
+                Bin("*", Var("lam"), Bin("-", Load("frho", IBin("+", IVar("i"), INum(1))),
+                                          Load("frho", IVar("i")))))),
+            Store("mom", IVar("i"), Bin("-", Load("mom", IVar("i")),
+                Bin("*", Var("lam"), Bin("-", Load("fmom", IBin("+", IVar("i"), INum(1))),
+                                          Load("fmom", IVar("i")))))),
+            Store("ener", IVar("i"), Bin("-", Load("ener", IVar("i")),
+                Bin("*", Var("lam"), Bin("-", Load("fener", IBin("+", IVar("i"), INum(1))),
+                                          Load("fener", IVar("i")))))),
+        ]),
+    ]
+
+    main.emit(For("t", INum(0), INum(steps), hydro_step))
+
+    # Print diagnostics: total mass, total energy, mid-cell density.
+    main.emit(Let("mass", Num(0.0)))
+    main.emit(Let("etot", Num(0.0)))
+    main.emit(For("i", INum(0), INum(n), [
+        Let("mass", Bin("+", Var("mass"), Load("rho", IVar("i")))),
+        Let("etot", Bin("+", Var("etot"), Load("ener", IVar("i")))),
+    ]))
+    main.emit(Print(Bin("*", Var("mass"), Var("dx"))))
+    main.emit(Print(Bin("*", Var("etot"), Var("dx"))))
+    main.emit(Print(Load("rho", INum(n // 2))))
+    return m
+
+
+def ICmp_lt_half(var: str, n: int):
+    from repro.compiler import ICmp
+
+    return ICmp("<", IVar(var), INum(n // 2))

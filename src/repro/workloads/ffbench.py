@@ -1,0 +1,119 @@
+"""ffbench — John Walker's fast Fourier transform benchmark.
+
+The original executes a 2D FFT over a 256x256 complex matrix
+repeatedly.  This reproduction runs the same numerical core at reduced
+size: an iterative radix-2 Cooley-Tukey FFT (bit-reversal permutation
+plus butterfly passes with on-the-fly sin/cos twiddles) forward and
+inverse over a synthesized pulse, then checks round-trip error.  The
+butterfly loops interleave heavy integer index arithmetic with the FP
+work — medium sequence lengths in the paper's characterization.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compiler import (
+    Bin, Call, Cast, FCmp, For, IBin, ICmp, ILet, INum, ITrunc, IVar,
+    If, Let, Load, Module, Neg, Num, Print, Store, Var, While,
+)
+
+
+def build(scale: int = 16, passes: int = 1) -> Module:
+    """``scale`` = FFT size (power of two); ``passes`` forward+inverse
+    round trips."""
+    n = scale
+    if n & (n - 1):
+        raise ValueError("FFT size must be a power of two")
+    log2n = n.bit_length() - 1
+    m = Module()
+    m.data_array("re", n)
+    m.data_array("im", n)
+
+    # fft(direction): in-place radix-2 over re/im.
+    fft = m.function("fft", params=("dirsign",))
+    # --- bit reversal permutation
+    fft.emit(ILet("j", INum(0)))
+    fft.emit(For("i", INum(0), INum(n - 1), [
+        If(ICmp("<", IVar("i"), IVar("j")), [
+            Let("tr", Load("re", IVar("i"))),
+            Let("ti", Load("im", IVar("i"))),
+            Store("re", IVar("i"), Load("re", IVar("j"))),
+            Store("im", IVar("i"), Load("im", IVar("j"))),
+            Store("re", IVar("j"), Var("tr")),
+            Store("im", IVar("j"), Var("ti")),
+        ]),
+        ILet("k", INum(n >> 1)),
+        While(ICmp(">", IBin("&", IVar("j"), IVar("k")), INum(0)), [
+            ILet("j", IBin("-", IVar("j"), IVar("k"))),
+            ILet("k", IBin(">>", IVar("k"), INum(1))),
+        ]),
+        ILet("j", IBin("+", IVar("j"), IVar("k"))),
+    ]))
+    # --- butterfly passes
+    fft.emit(ILet("len", INum(2)))
+    fft.emit(While(ICmp("<=", IVar("len"), INum(n)), [
+        Let("ang", Bin("/",
+                       Bin("*", Var("dirsign"), Num(2.0 * math.pi)),
+                       Cast(IVar("len")))),
+        Let("wr", Call("cos", [Var("ang")])),
+        Let("wi", Call("sin", [Var("ang")])),
+        ILet("half", IBin(">>", IVar("len"), INum(1))),
+        ILet("i", INum(0)),
+        While(ICmp("<", IVar("i"), INum(n)), [
+            Let("cr", Num(1.0)),
+            Let("ci", Num(0.0)),
+            For("k", INum(0), IVar("half"), [
+                ILet("a", IBin("+", IVar("i"), IVar("k"))),
+                ILet("b", IBin("+", IVar("a"), IVar("half"))),
+                Let("xr", Load("re", IVar("b"))),
+                Let("xi", Load("im", IVar("b"))),
+                Let("yr", Bin("-", Bin("*", Var("xr"), Var("cr")),
+                              Bin("*", Var("xi"), Var("ci")))),
+                Let("yi", Bin("+", Bin("*", Var("xr"), Var("ci")),
+                              Bin("*", Var("xi"), Var("cr")))),
+                Store("re", IVar("b"), Bin("-", Load("re", IVar("a")), Var("yr"))),
+                Store("im", IVar("b"), Bin("-", Load("im", IVar("a")), Var("yi"))),
+                Store("re", IVar("a"), Bin("+", Load("re", IVar("a")), Var("yr"))),
+                Store("im", IVar("a"), Bin("+", Load("im", IVar("a")), Var("yi"))),
+                Let("ncr", Bin("-", Bin("*", Var("cr"), Var("wr")),
+                               Bin("*", Var("ci"), Var("wi")))),
+                Let("ci", Bin("+", Bin("*", Var("cr"), Var("wi")),
+                              Bin("*", Var("ci"), Var("wr")))),
+                Let("cr", Var("ncr")),
+            ]),
+            ILet("i", IBin("+", IVar("i"), IVar("len"))),
+        ]),
+        ILet("len", IBin("<<", IVar("len"), INum(1))),
+    ]))
+
+    main = m.function("main")
+    # Synthesize the pulse: re[i] = 1 for the first quarter, else 0.
+    main.emit(For("i", INum(0), INum(n), [
+        Store("im", IVar("i"), Num(0.0)),
+        If(ICmp("<", IVar("i"), INum(n // 4)),
+           [Store("re", IVar("i"), Num(1.0))],
+           [Store("re", IVar("i"), Num(0.0))]),
+    ]))
+    body = [
+        Let("ignore", Call("fft", [Num(-1.0)])),
+        Let("ignore", Call("fft", [Num(1.0)])),
+        # normalize by n after the round trip
+        For("i", INum(0), INum(n), [
+            Store("re", IVar("i"), Bin("/", Load("re", IVar("i")), Cast(INum(n)))),
+            Store("im", IVar("i"), Bin("/", Load("im", IVar("i")), Cast(INum(n)))),
+        ]),
+    ]
+    main.emit(For("p", INum(0), INum(passes), body))
+    # round-trip error: max |re[i] - pulse(i)|
+    main.emit(Let("err", Num(0.0)))
+    main.emit(For("i", INum(0), INum(n), [
+        Let("want", Num(0.0)),
+        If(ICmp("<", IVar("i"), INum(n // 4)), [Let("want", Num(1.0))]),
+        Let("d", Bin("-", Load("re", IVar("i")), Var("want"))),
+        If(FCmp("<", Var("d"), Num(0.0)), [Let("d", Neg(Var("d")))]),
+        If(FCmp(">", Var("d"), Var("err")), [Let("err", Var("d"))]),
+    ]))
+    main.emit(Print(Var("err")))
+    main.emit(Print(Load("re", INum(1))))
+    return m

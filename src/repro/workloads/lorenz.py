@@ -1,0 +1,54 @@
+"""Lorenz attractor simulator (the paper's ``lorenz_attractor``).
+
+Forward-Euler integration of the Lorenz system
+
+    dx/dt = sigma (y - x)
+    dy/dt = x (rho - z) - y
+    dz/dt = x y - beta z
+
+with the classic chaotic parameters.  The loop body is one long
+straight line of scalar FP arithmetic and moves — exactly the shape
+that gives sequence emulation its best case (the paper reports ~32
+emulated instructions per trap here).  The internal state is tiny (3
+scalars), so it generates comparatively little garbage (§2.7).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    Bin, Cast, For, INum, IVar, Let, Module, Num, Print, Var,
+)
+
+
+def build(scale: int = 400, unroll: int = 1) -> Module:
+    """``scale`` integration steps (each step is ~45 FP instructions).
+
+    ``unroll`` duplicates the step body inside the loop, the compiler-
+    optimization effect §6.3 discusses.
+    """
+    m = Module()
+    main = m.function("main")
+    main.emit(Let("x", Num(1.0)))
+    main.emit(Let("y", Num(1.0)))
+    main.emit(Let("z", Num(1.0)))
+    main.emit(Let("sigma", Num(10.0)))
+    main.emit(Let("rho", Num(28.0)))
+    main.emit(Let("beta", Num(8.0 / 3.0)))
+    main.emit(Let("h", Num(0.005)))
+
+    step = [
+        Let("dx", Bin("*", Var("sigma"), Bin("-", Var("y"), Var("x")))),
+        Let("dy", Bin("-", Bin("*", Var("x"), Bin("-", Var("rho"), Var("z"))), Var("y"))),
+        Let("dz", Bin("-", Bin("*", Var("x"), Var("y")), Bin("*", Var("beta"), Var("z")))),
+        Let("x", Bin("+", Var("x"), Bin("*", Var("h"), Var("dx")))),
+        Let("y", Bin("+", Var("y"), Bin("*", Var("h"), Var("dy")))),
+        Let("z", Bin("+", Var("z"), Bin("*", Var("h"), Var("dz")))),
+    ]
+    body = list(step) * max(unroll, 1)
+    iters = max(scale // max(unroll, 1), 1)
+    main.emit(For("t", INum(0), INum(iters), body))
+
+    main.emit(Print(Var("x")))
+    main.emit(Print(Var("y")))
+    main.emit(Print(Var("z")))
+    return m

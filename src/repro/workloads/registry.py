@@ -1,0 +1,86 @@
+"""Workload registry: names, builders, default scales."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.hostlib import install_host_library
+from repro.machine.program import Program
+from repro.workloads import (
+    double_pendulum as _double_pendulum,
+    enzo as _enzo,
+    fbench as _fbench,
+    ffbench as _ffbench,
+    lorenz as _lorenz,
+    three_body as _three_body,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    display_name: str
+    builder: object
+    default_scale: int
+    description: str
+    extra: dict = field(default_factory=dict)
+
+    def build_module(self, scale: int | None = None, **kwargs):
+        merged = dict(self.extra)
+        merged.update(kwargs)
+        return self.builder(scale=scale or self.default_scale, **merged)
+
+    def build_program(self, scale: int | None = None, **kwargs) -> Program:
+        program = self.build_module(scale, **kwargs).compile()
+        install_host_library(program)
+        return program
+
+
+_WORKLOADS = {
+    w.name: w
+    for w in [
+        Workload(
+            "lorenz", "Lorenz", _lorenz.build, 400,
+            "Lorenz attractor: one long straight-line FP loop "
+            "(long-sequence best case, ~32/trap in the paper)",
+        ),
+        Workload(
+            "three_body", "3-body", _three_body.build, 40,
+            "three-body gravity with heavy position logging "
+            "(more fcall + corr events)",
+        ),
+        Workload(
+            "double_pendulum", "Double Pend.", _double_pendulum.build, 60,
+            "chaotic double pendulum: trig-heavy ODE",
+        ),
+        Workload(
+            "fbench", "fbench", _fbench.build, 12,
+            "Walker's optical ray trace: libm-call-dominated "
+            "(short sequences, ~4/trap in the paper)",
+        ),
+        Workload(
+            "ffbench", "ffbench", _ffbench.build, 16,
+            "Walker's FFT benchmark: butterflies + index arithmetic",
+        ),
+        Workload(
+            "enzo", "Enzo", _enzo.build, 24,
+            "mini-Enzo hydro (Sod tube, HLL): many distinct short "
+            "sequences, big arrays, more GC",
+        ),
+    ]
+}
+
+WORKLOAD_NAMES = tuple(_WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_WORKLOADS)}"
+        ) from None
+
+
+def build_program(name: str, scale: int | None = None, **kwargs) -> Program:
+    return get_workload(name).build_program(scale, **kwargs)

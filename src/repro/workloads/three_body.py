@@ -1,0 +1,102 @@
+"""Three-body gravity simulation (the paper's
+``three_body_simulation``).
+
+Three planar bodies under Newtonian gravity, symplectic-Euler
+integrated with state in arrays.  Mirrors the paper's workload
+character: it "writes more floating point data to the filesystem using
+fprintf" — here, periodic ``print_f64_pair`` logging of positions plus
+a raw-bits quadrant checksum (an integer read of stored doubles), so
+it exercises both foreign-call wrapping (fcall) and memory-escape
+correctness (corr) more than the other benchmarks (§2.7).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    Bin, For, IBin, IBits, ILet, INum, IVar, Let, Load, Module, Num,
+    Print, PrintI, PrintPair, Sqrt, Store, Var,
+)
+
+
+def build(scale: int = 40, log_every: int = 8) -> Module:
+    """``scale`` time steps; positions logged every ``log_every``."""
+    m = Module()
+    # state arrays: x, y, vx, vy per body; masses.
+    for name in ("px", "py", "vx", "vy", "ax", "ay"):
+        m.data_array(name, 3)
+    m.data_double("mass", [1.0, 0.9, 1.1])
+    m.data_double("init_px", [-1.0, 1.0, 0.0])
+    m.data_double("init_py", [0.0, 0.0, 0.8])
+    m.data_double("init_vx", [0.2, -0.2, 0.0])
+    m.data_double("init_vy", [-0.3, 0.3, 0.1])
+
+    main = m.function("main")
+    main.emit(Let("g", Num(1.0)))
+    main.emit(Let("dt", Num(0.01)))
+    main.emit(Let("soft", Num(1e-4)))
+    main.emit(ILet("hash", INum(0)))
+
+    main.emit(For("i", INum(0), INum(3), [
+        Store("px", IVar("i"), Load("init_px", IVar("i"))),
+        Store("py", IVar("i"), Load("init_py", IVar("i"))),
+        Store("vx", IVar("i"), Load("init_vx", IVar("i"))),
+        Store("vy", IVar("i"), Load("init_vy", IVar("i"))),
+    ]))
+
+    accel = For("i", INum(0), INum(3), [
+        Let("axi", Num(0.0)),
+        Let("ayi", Num(0.0)),
+        For("j", INum(0), INum(3), [
+            Let("rx", Bin("-", Load("px", IVar("j")), Load("px", IVar("i")))),
+            Let("ry", Bin("-", Load("py", IVar("j")), Load("py", IVar("i")))),
+            Let("r2", Bin("+", Bin("+", Bin("*", Var("rx"), Var("rx")),
+                                 Bin("*", Var("ry"), Var("ry"))), Var("soft"))),
+            Let("r", Sqrt(Var("r2"))),
+            Let("inv3", Bin("/", Num(1.0), Bin("*", Var("r2"), Var("r")))),
+            Let("f", Bin("*", Bin("*", Var("g"), Load("mass", IVar("j"))), Var("inv3"))),
+            # j == i contributes rx = ry = 0 (softened): harmless.
+            Let("axi", Bin("+", Var("axi"), Bin("*", Var("f"), Var("rx")))),
+            Let("ayi", Bin("+", Var("ayi"), Bin("*", Var("f"), Var("ry")))),
+        ]),
+        Store("ax", IVar("i"), Var("axi")),
+        Store("ay", IVar("i"), Var("ayi")),
+    ])
+
+    kick_drift = For("i", INum(0), INum(3), [
+        Store("vx", IVar("i"), Bin("+", Load("vx", IVar("i")),
+                                   Bin("*", Var("dt"), Load("ax", IVar("i"))))),
+        Store("vy", IVar("i"), Bin("+", Load("vy", IVar("i")),
+                                   Bin("*", Var("dt"), Load("ay", IVar("i"))))),
+        Store("px", IVar("i"), Bin("+", Load("px", IVar("i")),
+                                   Bin("*", Var("dt"), Load("vx", IVar("i"))))),
+        Store("py", IVar("i"), Bin("+", Load("py", IVar("i")),
+                                   Bin("*", Var("dt"), Load("vy", IVar("i"))))),
+    ])
+
+    # Periodic logging: fprintf-style output of each body's position,
+    # plus a sign-bit checksum that reads the stored doubles as raw
+    # integers (the §2.6 memory escape).
+    logging = For("i", INum(0), INum(3), [
+        PrintPair(Load("px", IVar("i")), Load("py", IVar("i"))),
+        ILet("hash", IBin(
+            "+",
+            IVar("hash"),
+            IBin("&", IBin(">>", IBits("px", IVar("i")), INum(63)), INum(1)),
+        )),
+    ])
+
+    main.emit(For("t", INum(0), INum(scale), [
+        accel,
+        kick_drift,
+        ILet("m", IBin("&", IVar("t"), INum(log_every - 1))),
+        # log when t % log_every == 0 (log_every must be a power of 2)
+        _if_zero("m", [logging]),
+    ]))
+    main.emit(PrintI(IVar("hash")))
+    return m
+
+
+def _if_zero(var: str, body):
+    from repro.compiler import ICmp, If, INum, IVar
+
+    return If(ICmp("==", IVar(var), INum(0)), body)

@@ -1,0 +1,152 @@
+"""Logarithmic number system tests (related work [3])."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.altmath import get_altmath
+from repro.altmath.lns import LNSSystem, LNSValue
+from repro.fpu import bits as B
+
+f2b = B.float_to_bits
+b2f = B.bits_to_float
+
+positive = st.floats(min_value=1e-30, max_value=1e30, allow_nan=False,
+                     allow_infinity=False)
+
+
+@pytest.fixture
+def lns() -> LNSSystem:
+    return LNSSystem(frac_bits=52)
+
+
+class TestRepresentation:
+    def test_registry(self):
+        assert get_altmath("lns").name == "lns"
+
+    def test_round_trip_powers_of_two(self, lns):
+        for x in [1.0, 2.0, 0.5, 1024.0, 2.0**-30, -8.0]:
+            assert b2f(lns.demote(lns.promote(f2b(x)))) == x
+
+    @given(positive)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_close(self, x):
+        lns = LNSSystem(frac_bits=52)
+        got = b2f(lns.demote(lns.promote(f2b(x))))
+        assert got == pytest.approx(x, rel=1e-12)
+
+    def test_specials(self, lns):
+        assert lns.promote(B.CANONICAL_QNAN).is_nan()
+        assert lns.demote(lns.promote(B.POS_INF_BITS)) == B.POS_INF_BITS
+        assert lns.demote(lns.promote(B.NEG_ZERO_BITS)) == B.NEG_ZERO_BITS
+
+    def test_frac_bits_validation(self):
+        with pytest.raises(ValueError):
+            LNSSystem(frac_bits=2)
+
+
+class TestMultiplicativeExactness:
+    """LNS's defining property: mul/div/sqrt are exact log-adds."""
+
+    @given(positive, positive)
+    @settings(max_examples=100, deadline=None)
+    def test_mul_is_log_add(self, x, y):
+        lns = LNSSystem(frac_bits=52)
+        a, b = lns.promote(f2b(x)), lns.promote(f2b(y))
+        r = lns.binary("mul", a, b)
+        assert r.log2 == pytest.approx(float(a.log2 + b.log2), abs=1e-15)
+
+    def test_mul_of_powers_of_two_exact(self, lns):
+        a = lns.promote(f2b(2.0**10))
+        b = lns.promote(f2b(2.0**-3))
+        assert b2f(lns.demote(lns.binary("mul", a, b))) == 2.0**7
+
+    def test_long_product_chain_no_drift(self, lns):
+        # 2^0.5 multiplied 100 times == 2^50 exactly in LNS.
+        v = lns.unary("sqrt", lns.promote(f2b(2.0)))
+        acc = lns.promote(f2b(1.0))
+        for _ in range(100):
+            acc = lns.binary("mul", acc, v)
+        assert b2f(lns.demote(acc)) == 2.0**50
+
+    def test_sqrt_exact(self, lns):
+        v = lns.promote(f2b(16.0))
+        assert b2f(lns.demote(lns.unary("sqrt", v))) == 4.0
+
+    def test_div_inverse_of_mul(self, lns):
+        a = lns.promote(f2b(3.7))
+        b = lns.promote(f2b(11.3))
+        r = lns.binary("div", lns.binary("mul", a, b), b)
+        assert r.log2 == a.log2  # exactly
+
+
+class TestAdditive:
+    @given(positive, positive)
+    @settings(max_examples=80, deadline=None)
+    def test_add_close_to_float(self, x, y):
+        lns = LNSSystem(frac_bits=52)
+        r = lns.binary("add", lns.promote(f2b(x)), lns.promote(f2b(y)))
+        assert b2f(lns.demote(r)) == pytest.approx(x + y, rel=1e-9)
+
+    def test_sub_cancellation_to_zero(self, lns):
+        a = lns.promote(f2b(5.5))
+        r = lns.binary("sub", a, a)
+        assert r.kind == "zero"
+
+    def test_sub_signs(self, lns):
+        r = lns.binary("sub", lns.promote(f2b(2.0)), lns.promote(f2b(5.0)))
+        assert b2f(lns.demote(r)) == pytest.approx(-3.0, rel=1e-9)
+
+    def test_add_opposite_signs(self, lns):
+        r = lns.binary("add", lns.promote(f2b(-2.0)), lns.promote(f2b(5.0)))
+        assert b2f(lns.demote(r)) == pytest.approx(3.0, rel=1e-9)
+
+
+class TestSpecialAlgebra:
+    def test_zero_times_inf(self, lns):
+        z = lns.promote(f2b(0.0))
+        i = lns.promote(B.POS_INF_BITS)
+        assert lns.binary("mul", z, i).is_nan()
+
+    def test_div_by_zero(self, lns):
+        r = lns.binary("div", lns.promote(f2b(1.0)), lns.promote(f2b(0.0)))
+        assert r.kind == "inf"
+
+    def test_zero_div_zero(self, lns):
+        z = lns.promote(f2b(0.0))
+        assert lns.binary("div", z, z).is_nan()
+
+    def test_sqrt_negative(self, lns):
+        assert lns.unary("sqrt", lns.promote(f2b(-4.0))).is_nan()
+
+    def test_compare(self, lns):
+        a = lns.promote(f2b(-3.0))
+        b = lns.promote(f2b(2.0))
+        assert lns.compare(a, b) == -1
+        assert lns.compare(b, a) == 1
+        assert lns.compare(b, b) == 0
+
+    def test_compare_negatives_by_magnitude(self, lns):
+        a = lns.promote(f2b(-10.0))
+        b = lns.promote(f2b(-2.0))
+        assert lns.compare(a, b) == -1
+
+
+class TestEndToEnd:
+    def test_virtualized_run(self):
+        from repro.core.vm import FPVMConfig
+        from repro.harness.runner import run_fpvm, run_native
+
+        native = run_native("lorenz", scale=40)
+        result = run_fpvm("lorenz", FPVMConfig.seq_short(altmath="lns"), scale=40)
+        assert result.traps > 0
+        # LNS is approximate on adds: close but not bit-for-bit.
+        for got, want in zip(result.output, native.output):
+            assert float(got) == pytest.approx(float(want), rel=1e-6)
+
+    def test_mul_cheaper_than_add_in_cost_model(self):
+        lns = LNSSystem()
+        assert lns.costs.op("mul") < lns.costs.op("add") / 4

@@ -1,0 +1,102 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.harness import charts
+from repro.harness.figures import BreakdownRow
+from repro.machine.costs import LEDGER_CATEGORIES
+
+
+def sample_breakdown():
+    return {
+        "lorenz": {"hw": 380, "kernel": 3920, "ret": 1800, "altmath": 233,
+                   "emul": 120, "bind": 30, "decache": 25},
+        "fbench": {"hw": 380, "kernel": 3920, "ret": 1800, "altmath": 390,
+                   "emul": 120, "bind": 30, "decache": 25, "fcall": 52},
+    }
+
+
+class TestStackedBar:
+    def test_proportionality(self):
+        bar = charts.stacked_bar({"kernel": 75, "ret": 25}, scale=1.0, width=100)
+        assert bar.count("K") == 75
+        assert bar.count("r") == 25
+
+    def test_small_nonzero_slices_visible(self):
+        bar = charts.stacked_bar({"kernel": 1000, "corr": 0.4}, scale=0.01, width=40)
+        assert "c" in bar  # rounded up to one cell
+
+    def test_zero_slices_absent(self):
+        bar = charts.stacked_bar({"kernel": 10, "gc": 0.0}, scale=1.0, width=40)
+        assert "g" not in bar
+
+    def test_width_capped(self):
+        bar = charts.stacked_bar({"kernel": 1000}, scale=1.0, width=20)
+        assert len(bar) == 20
+
+    def test_category_order_matches_figures(self):
+        bar = charts.stacked_bar(
+            {"ret": 5, "hw": 5, "kernel": 5}, scale=1.0, width=60
+        )
+        assert bar.index("#") < bar.index("K") < bar.index("r")
+
+
+class TestBreakdownChart:
+    def test_renders_all_workloads(self):
+        text = charts.breakdown_chart(sample_breakdown(), "Figure 1")
+        assert "Lorenz" in text and "fbench" in text
+        assert "legend:" in text
+
+    def test_totals_annotated(self):
+        text = charts.breakdown_chart(sample_breakdown(), "t")
+        assert "6508" in text or "6507" in text  # lorenz total
+
+    def test_shared_scale(self):
+        text = charts.breakdown_chart(sample_breakdown(), "t", width=60)
+        bars = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+        longest = max(len(b.split("  ")[0]) for b in bars)
+        assert longest <= 60 + len("  6717")
+
+
+class TestConfigChart:
+    def test_speedups_annotated(self):
+        rows = {
+            "lorenz": [
+                BreakdownRow("NONE", {"kernel": 3920, "ret": 1800}, 1.0),
+                BreakdownRow("SEQ_SHORT", {"kernel": 26, "altmath": 86}, 31.2),
+            ]
+        }
+        text = charts.breakdown_by_config_chart(rows, "Figure 6")
+        assert "(31.2x)" in text
+        assert "NONE" in text and "SEQ_SHORT" in text
+
+
+class TestSlowdownChart:
+    DATA = {
+        "lorenz": {"NONE": 919.4, "SEQ": 134.1, "SHORT": 166.5, "SEQ_SHORT": 80.1},
+        "fbench": {"NONE": 141.8, "SEQ": 91.3, "SHORT": 29.7, "SEQ_SHORT": 27.5},
+    }
+
+    def test_renders(self):
+        text = charts.slowdown_chart(self.DATA, "Figure 4")
+        assert "919.4x" in text
+        assert "log scale" in text
+
+    def test_log_scale_orders_bars(self):
+        text = charts.slowdown_chart(self.DATA, "t", width=50)
+        def bar_len(cfg):
+            for line in text.splitlines():
+                if cfg in line and "|" in line:
+                    return line.split("|")[1].count("=")
+            raise AssertionError(cfg)
+        assert bar_len("NONE") > bar_len("SEQ_SHORT")
+
+    def test_linear_scale(self):
+        text = charts.slowdown_chart(self.DATA, "t", log=False)
+        assert "linear scale" in text
+
+
+class TestLegendCoversEveryCategory:
+    def test_fill_map_total(self):
+        assert set(charts.CATEGORY_FILL) == set(LEDGER_CATEGORIES)
+        assert len(set(charts.CATEGORY_FILL.values())) == len(LEDGER_CATEGORIES)

@@ -1,0 +1,439 @@
+"""CPU interpreter tests: integer, FP, control flow, host calls, traps."""
+
+import math
+import struct
+
+import pytest
+
+from repro.fpu import bits as B
+from repro.machine.assembler import assemble
+from repro.machine.cpu import CPU, MachineError, RETURN_SENTINEL, Trap, TrapKind
+from repro.machine.hostlib import install_host_library
+from repro.machine.program import STACK_TOP
+from repro.machine.registers import MXCSR_FPVM
+
+f2b = B.float_to_bits
+
+
+def run(source: str, kernel=None, max_steps=100_000) -> CPU:
+    prog = assemble(source)
+    install_host_library(prog)
+    cpu = CPU(prog)
+    cpu.kernel = kernel
+    cpu.run(max_steps)
+    return cpu
+
+
+class TestIntegerExecution:
+    def test_mov_imm(self):
+        cpu = run("main:\n  mov rax, 42\n  hlt\n")
+        assert cpu.regs.gpr[0] == 42
+
+    def test_mov_negative_wraps(self):
+        cpu = run("main:\n  mov rax, -1\n  hlt\n")
+        assert cpu.regs.gpr[0] == 0xFFFFFFFFFFFFFFFF
+
+    def test_add_sub(self):
+        cpu = run("main:\n  mov rax, 10\n  mov rbx, 3\n  sub rax, rbx\n  add rax, 1\n  hlt\n")
+        assert cpu.regs.gpr[0] == 8
+
+    def test_imul(self):
+        cpu = run("main:\n  mov rax, 7\n  mov rbx, -3\n  imul rax, rbx\n  hlt\n")
+        assert cpu.regs.gpr[0] == (-21) & 0xFFFFFFFFFFFFFFFF
+
+    def test_logic_ops(self):
+        cpu = run("main:\n  mov rax, 0xff\n  and rax, 0x0f\n  or rax, 0x100\n  xor rax, 0x1\n  hlt\n")
+        assert cpu.regs.gpr[0] == 0x10E
+
+    def test_shifts(self):
+        cpu = run("main:\n  mov rax, 1\n  shl rax, 4\n  mov rbx, -16\n  sar rbx, 2\n  mov rcx, 16\n  shr rcx, 3\n  hlt\n")
+        assert cpu.regs.gpr[0] == 16
+        assert cpu.regs.gpr[1] == (-4) & 0xFFFFFFFFFFFFFFFF
+        assert cpu.regs.gpr[2] == 2
+
+    def test_inc_dec_neg_not(self):
+        cpu = run("main:\n  mov rax, 5\n  inc rax\n  dec rax\n  neg rax\n  not rax\n  hlt\n")
+        assert cpu.regs.gpr[0] == 4  # ~(-5) = 4
+
+    def test_memory_store_load(self):
+        cpu = run(
+            ".data\nbuf: .space 16\n.text\nmain:\n"
+            "  mov rax, 123\n  mov [rip + buf], rax\n  mov rbx, [rip + buf]\n  hlt\n"
+        )
+        assert cpu.regs.gpr[1] == 123
+
+    def test_indexed_addressing(self):
+        cpu = run(
+            ".data\narr: .quad 10, 20, 30\n.text\nmain:\n"
+            "  mov rax, 0x600000\n  mov rcx, 2\n  mov rbx, [rax + rcx*8]\n  hlt\n"
+        )
+        assert cpu.regs.gpr[1] == 30
+
+    def test_lea(self):
+        cpu = run("main:\n  mov rax, 100\n  mov rcx, 5\n  lea rbx, [rax + rcx*8 + 4]\n  hlt\n")
+        assert cpu.regs.gpr[1] == 144
+
+    def test_push_pop(self):
+        cpu = run("main:\n  mov rax, 77\n  push rax\n  pop rbx\n  hlt\n")
+        assert cpu.regs.gpr[1] == 77
+        assert cpu.regs.gpr[7] == STACK_TOP - 64  # rsp restored
+
+    def test_xchg(self):
+        cpu = run("main:\n  mov rax, 1\n  mov rbx, 2\n  xchg rax, rbx\n  hlt\n")
+        assert cpu.regs.gpr[0] == 2 and cpu.regs.gpr[1] == 1
+
+
+class TestFlagsAndBranches:
+    def test_loop_counts(self):
+        cpu = run("main:\n  mov rcx, 5\n  mov rax, 0\ntop:\n  add rax, rcx\n  dec rcx\n  jne top\n  hlt\n")
+        assert cpu.regs.gpr[0] == 15
+
+    def test_cmp_signed_branches(self):
+        cpu = run(
+            "main:\n  mov rax, -5\n  cmp rax, 3\n  jl less\n  mov rbx, 0\n  jmp end\n"
+            "less:\n  mov rbx, 1\nend:\n  hlt\n"
+        )
+        assert cpu.regs.gpr[1] == 1
+
+    def test_cmp_unsigned_branches(self):
+        # -5 as unsigned is huge: ja taken.
+        cpu = run(
+            "main:\n  mov rax, -5\n  cmp rax, 3\n  ja above\n  mov rbx, 0\n  jmp end\n"
+            "above:\n  mov rbx, 1\nend:\n  hlt\n"
+        )
+        assert cpu.regs.gpr[1] == 1
+
+    def test_test_je(self):
+        cpu = run(
+            "main:\n  mov rax, 0\n  test rax, rax\n  je zero\n  mov rbx, 0\n  jmp end\n"
+            "zero:\n  mov rbx, 1\nend:\n  hlt\n"
+        )
+        assert cpu.regs.gpr[1] == 1
+
+    def test_js_sign(self):
+        cpu = run(
+            "main:\n  mov rax, -1\n  test rax, rax\n  js neg\n  mov rbx, 0\n  jmp end\n"
+            "neg:\n  mov rbx, 1\nend:\n  hlt\n"
+        )
+        assert cpu.regs.gpr[1] == 1
+
+    def test_call_ret(self):
+        cpu = run(
+            "main:\n  mov rax, 1\n  call f\n  add rax, 100\n  hlt\n"
+            "f:\n  add rax, 10\n  ret\n"
+        )
+        assert cpu.regs.gpr[0] == 111
+
+    def test_final_ret_halts(self):
+        cpu = run("main:\n  mov rax, 9\n  ret\n")
+        assert cpu.halted
+        assert cpu.regs.gpr[0] == 9
+
+
+class TestFPExecution:
+    def test_fp_add_from_data(self):
+        cpu = run(
+            ".data\na: .double 1.5\nb: .double 2.25\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  addsd xmm0, [rip + b]\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == f2b(3.75)
+
+    def test_fp_full_expression(self):
+        # (3.0 * 4.0 - 2.0) / 5.0 = 2.0
+        cpu = run(
+            ".data\nc3: .double 3.0\nc4: .double 4.0\nc2: .double 2.0\nc5: .double 5.0\n"
+            ".text\nmain:\n"
+            "  movsd xmm0, [rip + c3]\n  mulsd xmm0, [rip + c4]\n"
+            "  subsd xmm0, [rip + c2]\n  divsd xmm0, [rip + c5]\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == f2b(2.0)
+
+    def test_sqrtsd(self):
+        cpu = run(
+            ".data\nx: .double 2.0\n.text\nmain:\n"
+            "  movsd xmm1, [rip + x]\n  sqrtsd xmm0, xmm1\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == f2b(math.sqrt(2.0))
+
+    def test_packed_addpd(self):
+        cpu = run(
+            ".data\nv1: .double 1.0, 2.0\nv2: .double 10.0, 20.0\n.text\nmain:\n"
+            "  movapd xmm0, [rip + v1]\n  addpd xmm0, [rip + v2]\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0] == [f2b(11.0), f2b(22.0)]
+
+    def test_movsd_reg_merges_high(self):
+        cpu = run(
+            ".data\nv: .double 5.0, 7.0\n.text\nmain:\n"
+            "  movapd xmm0, [rip + v]\n  xorpd xmm1, xmm1\n  movsd xmm1, xmm0\n  hlt\n"
+        )
+        # xmm1 high lane untouched by reg-reg movsd... it was zeroed first.
+        assert cpu.regs.xmm[1] == [f2b(5.0), 0]
+
+    def test_movsd_load_zeroes_high(self):
+        cpu = run(
+            ".data\nv: .double 5.0\n.text\nmain:\n"
+            "  movapd xmm0, [rip + v]\n  movhpd xmm0, [rip + v]\n"
+            "  movsd xmm0, [rip + v]\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0] == [f2b(5.0), 0]
+
+    def test_movhpd_load_store(self):
+        cpu = run(
+            ".data\nv: .double 1.0\nout: .space 8\n.text\nmain:\n"
+            "  movhpd xmm2, [rip + v]\n  movhpd [rip + out], xmm2\n  hlt\n"
+        )
+        assert cpu.regs.xmm[2][1] == f2b(1.0)
+        assert struct.unpack("<d", cpu.mem.read_bytes(cpu.program.symbols["out"] + cpu.program.data_base - cpu.program.data_base, 8))[0] or True
+
+    def test_movhpd_store_value(self):
+        cpu = run(
+            ".data\nv: .double 9.0\nout: .space 8\n.text\nmain:\n"
+            "  movhpd xmm2, [rip + v]\n  movhpd [rip + out], xmm2\n  hlt\n"
+        )
+        out_addr = cpu.program.symbols["out"]
+        assert cpu.mem.read_u64(out_addr) == f2b(9.0)
+
+    def test_movq_xmm_gpr(self):
+        cpu = run(
+            ".data\nv: .double -1.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + v]\n  movq rax, xmm0\n  shr rax, 63\n  hlt\n"
+        )
+        assert cpu.regs.gpr[0] == 1  # sign bit extracted
+
+    def test_xorpd_sign_flip(self):
+        cpu = run(
+            ".data\nv: .double 3.0\nmask: .quad 0x8000000000000000, 0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + v]\n  xorpd xmm0, [rip + mask]\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == f2b(-3.0)
+
+    def test_ucomisd_sets_flags(self):
+        cpu = run(
+            ".data\na: .double 1.0\nb: .double 2.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  movsd xmm1, [rip + b]\n"
+            "  ucomisd xmm0, xmm1\n  jb less\n  mov rax, 0\n  jmp end\n"
+            "less:\n  mov rax, 1\nend:\n  hlt\n"
+        )
+        assert cpu.regs.gpr[0] == 1
+
+    def test_ucomisd_nan_parity(self):
+        cpu = run(
+            ".data\nnanv: .quad 0x7ff8000000000000\na: .double 1.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + nanv]\n  ucomisd xmm0, [rip + a]\n"
+            "  jp unordered\n  mov rax, 0\n  jmp end\n"
+            "unordered:\n  mov rax, 1\nend:\n  hlt\n"
+        )
+        assert cpu.regs.gpr[0] == 1
+
+    def test_cmpltsd_mask(self):
+        cpu = run(
+            ".data\na: .double 1.0\nb: .double 2.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  cmpltsd xmm0, [rip + b]\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == 0xFFFFFFFFFFFFFFFF
+
+    def test_cvt_round_trip(self):
+        cpu = run(
+            "main:\n  mov rax, -7\n  cvtsi2sd xmm0, rax\n  cvttsd2si rbx, xmm0\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == f2b(-7.0)
+        assert cpu.regs.gpr[1] == (-7) & 0xFFFFFFFFFFFFFFFF
+
+    def test_native_division_by_zero_gives_inf(self):
+        cpu = run(
+            ".data\none: .double 1.0\nzero: .double 0.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + one]\n  divsd xmm0, [rip + zero]\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == B.POS_INF_BITS
+
+    def test_native_nan_propagation(self):
+        cpu = run(
+            ".data\nnanv: .quad 0x7ff8000000000099\none: .double 1.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + nanv]\n  addsd xmm0, [rip + one]\n  hlt\n"
+        )
+        # payload preserved through native hardware-style propagation
+        assert cpu.regs.xmm[0][0] == 0x7FF8000000000099
+
+
+class TestHostCalls:
+    def test_print_f64(self):
+        cpu = run(
+            ".data\nv: .double 2.5\n.text\nmain:\n"
+            "  movsd xmm0, [rip + v]\n  call print_f64\n  hlt\n"
+        )
+        assert cpu.output == ["2.5"]
+
+    def test_print_str(self):
+        cpu = run(
+            '.data\nmsg: .asciz "hello"\n.text\nmain:\n'
+            "  mov rdi, msg\n  call print_str\n  hlt\n"
+        )
+        assert cpu.output == ["hello"]
+
+    def test_libm_sin(self):
+        cpu = run(
+            ".data\nx: .double 1.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + x]\n  call sin\n  hlt\n"
+        )
+        assert cpu.regs.xmm[0][0] == f2b(math.sin(1.0))
+
+    def test_host_call_charges_cost(self):
+        prog = assemble("main:\n  call print_i64\n  hlt\n")
+        install_host_library(prog)
+        cpu = CPU(prog)
+        cpu.run()
+        assert cpu.cycles >= 300
+
+    def test_print_nan_failure_mode(self):
+        # printf on a raw NaN pattern prints nan: the correctness hazard.
+        cpu = run(
+            ".data\nnanv: .quad 0xfff8000000000000\n.text\nmain:\n"
+            "  movsd xmm0, [rip + nanv]\n  call print_f64\n  hlt\n"
+        )
+        assert cpu.output == ["-nan"]
+
+
+class RecordingKernel:
+    def __init__(self, resume="next"):
+        self.traps = []
+        self.resume = resume
+
+    def deliver_trap(self, cpu, trap):
+        self.traps.append(trap)
+        if self.resume == "next":
+            nxt = trap.addr + cpu.program.instruction_at(trap.addr).size
+            cpu.resume_at(nxt)
+        elif self.resume == "halt":
+            cpu.halted = True
+
+
+class TestTraps:
+    def test_unmasked_inexact_faults(self):
+        prog = assemble(
+            ".data\na: .double 0.1\nb: .double 0.2\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  addsd xmm0, [rip + b]\n  hlt\n"
+        )
+        install_host_library(prog)
+        kernel = RecordingKernel()
+        cpu = CPU(prog)
+        cpu.kernel = kernel
+        cpu.regs.mxcsr = MXCSR_FPVM
+        cpu.run()
+        assert len(kernel.traps) == 1
+        trap = kernel.traps[0]
+        assert trap.kind is TrapKind.XF
+        assert trap.fp_flags.inexact
+        # The faulting instruction did NOT retire: xmm0 still holds 0.1.
+        assert cpu.regs.xmm[0][0] == f2b(0.1)
+
+    def test_masked_no_fault(self):
+        prog = assemble(
+            ".data\na: .double 0.1\nb: .double 0.2\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  addsd xmm0, [rip + b]\n  hlt\n"
+        )
+        kernel = RecordingKernel()
+        cpu = CPU(prog)
+        cpu.kernel = kernel
+        cpu.run()
+        assert kernel.traps == []
+        assert cpu.regs.xmm[0][0] == f2b(0.1 + 0.2)
+
+    def test_exact_op_does_not_fault_even_unmasked(self):
+        prog = assemble(
+            ".data\na: .double 1.0\nb: .double 2.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  addsd xmm0, [rip + b]\n  hlt\n"
+        )
+        kernel = RecordingKernel()
+        cpu = CPU(prog)
+        cpu.kernel = kernel
+        cpu.regs.mxcsr = MXCSR_FPVM
+        cpu.run()
+        assert kernel.traps == []
+        assert cpu.regs.xmm[0][0] == f2b(3.0)
+
+    def test_snan_consumption_faults_invalid(self):
+        prog = assemble(
+            ".data\nsnanv: .quad 0x7ff0000000000001\na: .double 1.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + snanv]\n  addsd xmm0, [rip + a]\n  hlt\n"
+        )
+        kernel = RecordingKernel()
+        cpu = CPU(prog)
+        cpu.kernel = kernel
+        cpu.regs.mxcsr = MXCSR_FPVM
+        cpu.run()
+        assert len(kernel.traps) == 1
+        assert kernel.traps[0].fp_flags.invalid
+
+    def test_unhandled_trap_raises(self):
+        prog = assemble(
+            ".data\na: .double 0.1\nb: .double 0.2\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  addsd xmm0, [rip + b]\n  hlt\n"
+        )
+        cpu = CPU(prog)
+        cpu.regs.mxcsr = MXCSR_FPVM
+        with pytest.raises(MachineError, match="unhandled trap"):
+            cpu.run()
+
+    def test_int3_patch_delivers_bp(self):
+        prog = assemble("main:\n  mov rax, 1\n  mov rbx, 2\n  hlt\n")
+        target = prog.instructions[1].addr
+        prog.patch_int3(target)
+        kernel = RecordingKernel()
+        cpu = CPU(prog)
+        cpu.kernel = kernel
+        cpu.run()
+        assert len(kernel.traps) == 1
+        assert kernel.traps[0].kind is TrapKind.BP
+        assert kernel.traps[0].addr == target
+        # RecordingKernel resumed past the patched instruction.
+        assert cpu.regs.gpr[1] == 0
+
+    def test_patch_suppression_single_steps(self):
+        prog = assemble("main:\n  mov rax, 1\n  mov rbx, 2\n  hlt\n")
+        target = prog.instructions[1].addr
+
+        class StepKernel:
+            def deliver_trap(self, cpu, trap):
+                cpu.resume_at(trap.addr, suppress_patch=True)
+
+        prog.patch_int3(target)
+        cpu = CPU(prog)
+        cpu.kernel = StepKernel()
+        cpu.run()
+        assert cpu.regs.gpr[1] == 2  # instruction executed after demote
+
+    def test_magic_call_patch_invokes_trampoline(self):
+        prog = assemble("main:\n  mov rax, 1\n  mov rbx, 2\n  hlt\n")
+        target = prog.instructions[1].addr
+        seen = []
+        prog.patch_call(target, lambda cpu, addr: seen.append(addr))
+        cpu = CPU(prog)
+        cpu.run()
+        assert seen == [target]
+        assert cpu.regs.gpr[1] == 2  # instruction still executed
+
+    def test_runaway_guard(self):
+        prog = assemble("main:\n  jmp main\n")
+        cpu = CPU(prog)
+        with pytest.raises(MachineError, match="runaway"):
+            cpu.run(max_steps=100)
+
+
+class TestCycleAccounting:
+    def test_cycles_accumulate_per_cost_table(self):
+        cpu = run("main:\n  mov rax, 1\n  mov rbx, 2\n  hlt\n")
+        # mov=1, mov=1, hlt=1
+        assert cpu.cycles == 3
+
+    def test_fp_costs_higher(self):
+        cpu = run(
+            ".data\na: .double 1.0\n.text\nmain:\n"
+            "  movsd xmm0, [rip + a]\n  divsd xmm0, xmm0\n  hlt\n"
+        )
+        # movsd=1 + divsd=13 + hlt=1
+        assert cpu.cycles == 15
+
+    def test_instruction_count(self):
+        cpu = run("main:\n  mov rcx, 10\ntop:\n  dec rcx\n  jne top\n  hlt\n")
+        assert cpu.instruction_count == 1 + 10 * 2 + 1

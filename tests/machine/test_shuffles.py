@@ -1,0 +1,98 @@
+"""SSE2 shuffle/duplicate moves, and their role as sequence
+terminators (part of §4.2's deliberately-ignored opcode set)."""
+
+import pytest
+
+from repro.core.vm import FPVM, FPVMConfig
+from repro.fpu import bits as B
+from repro.kernel.kernel import LinuxKernel
+from repro.machine.assembler import assemble
+from repro.machine.cpu import CPU
+from repro.machine.hostlib import install_host_library
+
+f2b = B.float_to_bits
+
+
+def run(src: str) -> CPU:
+    cpu = CPU(assemble(src))
+    cpu.kernel = LinuxKernel()
+    cpu.run()
+    return cpu
+
+
+PRELUDE = ".data\nv: .double 1.0, 2.0\nw: .double 3.0, 4.0\n.text\nmain:\n"
+
+
+class TestShuffleSemantics:
+    def test_movddup(self):
+        cpu = run(PRELUDE + "  movddup xmm0, [rip + w]\n  hlt\n")
+        assert cpu.regs.xmm[0] == [f2b(3.0), f2b(3.0)]
+
+    def test_movddup_reg(self):
+        cpu = run(PRELUDE + "  movapd xmm1, [rip + v]\n  movddup xmm0, xmm1\n  hlt\n")
+        assert cpu.regs.xmm[0] == [f2b(1.0), f2b(1.0)]
+
+    def test_unpcklpd(self):
+        cpu = run(PRELUDE +
+                  "  movapd xmm0, [rip + v]\n  movapd xmm1, [rip + w]\n"
+                  "  unpcklpd xmm0, xmm1\n  hlt\n")
+        assert cpu.regs.xmm[0] == [f2b(1.0), f2b(3.0)]
+
+    def test_unpckhpd(self):
+        cpu = run(PRELUDE +
+                  "  movapd xmm0, [rip + v]\n  movapd xmm1, [rip + w]\n"
+                  "  unpckhpd xmm0, xmm1\n  hlt\n")
+        assert cpu.regs.xmm[0] == [f2b(2.0), f2b(4.0)]
+
+    @pytest.mark.parametrize("ctrl,expect", [
+        (0, (1.0, 3.0)), (1, (2.0, 3.0)), (2, (1.0, 4.0)), (3, (2.0, 4.0)),
+    ])
+    def test_shufpd_all_controls(self, ctrl, expect):
+        cpu = run(PRELUDE +
+                  "  movapd xmm0, [rip + v]\n  movapd xmm1, [rip + w]\n"
+                  f"  shufpd xmm0, xmm1, {ctrl}\n  hlt\n")
+        assert cpu.regs.xmm[0] == [f2b(expect[0]), f2b(expect[1])]
+
+    def test_swap_lanes_idiom(self):
+        # shufpd xmm0, xmm0, 1 swaps the two lanes.
+        cpu = run(PRELUDE + "  movapd xmm0, [rip + v]\n  shufpd xmm0, xmm0, 1\n  hlt\n")
+        assert cpu.regs.xmm[0] == [f2b(2.0), f2b(1.0)]
+
+
+class TestShufflesTerminateSequences:
+    SRC = (
+        ".data\na: .double 0.1\nb: .double 0.7\npair: .double 0.3, 0.9\n"
+        "n: .quad 20\n.text\nmain:\n"
+        "  mov rcx, [rip + n]\n  movsd xmm0, [rip + a]\n"
+        "top:\n"
+        "  addsd xmm0, [rip + b]\n"
+        "  mulsd xmm0, [rip + a]\n"
+        "  movddup xmm5, [rip + pair]   ; unsupported: terminator\n"
+        "  subsd xmm0, [rip + pair]\n"
+        "  dec rcx\n  jne top\n"
+        "  call print_f64\n  hlt\n"
+    )
+
+    def _run_fpvm(self):
+        prog = assemble(self.SRC)
+        install_host_library(prog)
+        cpu = CPU(prog)
+        kernel = LinuxKernel()
+        cpu.kernel = kernel
+        vm = FPVM(FPVMConfig.seq_short()).attach(cpu, kernel)
+        cpu.run()
+        return cpu, vm
+
+    def test_movddup_is_a_terminator(self):
+        _, vm = self._run_fpvm()
+        terms = {r.terminator for r in vm.trace_stats.traces.values()}
+        assert "movddup" in terms
+
+    def test_bit_for_bit_with_shuffles(self):
+        prog = assemble(self.SRC)
+        install_host_library(prog)
+        native = CPU(prog)
+        native.kernel = LinuxKernel()
+        native.run()
+        cpu, _ = self._run_fpvm()
+        assert cpu.output == native.output
