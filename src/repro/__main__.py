@@ -12,6 +12,9 @@ characterize WORKLOAD [--scale N]
     trace-cache sizing.
 figures [--skip-mpfr] [--out DIR]
     Regenerate every paper figure (same as benchmarks/run_all_figures).
+conformance [--full] [--matrix-only | --faults-only] [--scenario NAME]
+    Differential conformance sweep (NONE/SEQ/SHORT/SEQ_SHORT × altmath
+    × patch source × magic traps) plus fault-injection scenarios.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import argparse
 import sys
 
 from repro.core.vm import FPVMConfig
+from repro.harness import conformance_cli
 from repro.harness import figures as F
 from repro.harness import report
 from repro.harness.configs import CONFIG_ORDER, named_configs
@@ -168,6 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures", help="regenerate every paper figure")
     p_fig.add_argument("--skip-mpfr", action="store_true")
     p_fig.add_argument("--out", default="benchmarks/results")
+
+    conformance_cli.add_subparser(sub)
     return parser
 
 
@@ -178,6 +184,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "characterize": _cmd_characterize,
         "figures": _cmd_figures,
+        "conformance": conformance_cli.cmd_conformance,
     }[args.command]
     return handler(args)
 

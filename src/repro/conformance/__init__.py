@@ -1,0 +1,31 @@
+"""Conformance matrix + fault injection for the FPVM trap pipeline.
+
+- :mod:`repro.conformance.generators` — seeded mini-C program grammar
+  shared with the differential fuzz tests.
+- :mod:`repro.conformance.oracle` — run one cell, digest its final
+  memory, check the accounting invariants.
+- :mod:`repro.conformance.matrix` — the config-axes sweep (NONE / SEQ /
+  SHORT / SEQ_SHORT × altmath × patch source × magic traps).
+- :mod:`repro.conformance.faults` — injected faults that the VM must
+  recover from or fail loudly on with a typed
+  :class:`~repro.errors.FPVMFaultError`.
+"""
+
+from repro.conformance.generators import fuzz_program, gen_expr, gen_program
+from repro.conformance.matrix import (
+    Group, MatrixReport, full_plan, render_report, run_group, smoke_plan, sweep,
+)
+from repro.conformance.faults import (
+    SCENARIOS, FaultOutcome, run_all, run_scenario,
+)
+from repro.conformance.oracle import (
+    CellRun, check_invariants, memory_digest, run_cell, run_native,
+)
+
+__all__ = [
+    "CellRun", "FaultOutcome", "Group", "MatrixReport", "SCENARIOS",
+    "check_invariants", "full_plan", "fuzz_program", "gen_expr",
+    "gen_program", "memory_digest", "render_report", "run_all",
+    "run_cell", "run_group", "run_native", "run_scenario", "smoke_plan",
+    "sweep",
+]

@@ -1,0 +1,335 @@
+"""Fault injection for the FPVM trap pipeline.
+
+Each scenario perturbs exactly one link of the chain the paper's
+design leans on — signal delivery, the magic page, the decode cache,
+the box heap, the kernel-module registration — then runs a real
+workload and checks that the VM either **recovers** (completes with
+output bit-identical to a clean run) or **fails loudly** with the
+matching typed :class:`~repro.errors.FPVMFaultError` subclass.  A
+silent wrong answer is the one outcome no scenario tolerates.
+
+Scenarios are registered in :data:`SCENARIOS`; ``run_scenario(name)``
+returns a :class:`FaultOutcome`, and ``tests/conformance/
+test_faults.py`` pins the expected behaviour of every one.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.conformance import oracle
+from repro.core.correctness import MAGIC_COOKIE
+from repro.core.vm import FPVM, FPVMConfig
+from repro.errors import (
+    BoxHeapExhaustedError,
+    DecodeCacheCorruptionError,
+    DeviceProtocolError,
+    FPVMFaultError,
+    MagicPageCorruptionError,
+    TrapStormError,
+)
+from repro.kernel.kernel import LinuxKernel
+from repro.kernel.signals import SIGFPE, SignalContext
+from repro.machine.cpu import CPU
+from repro.machine.isa import OpClass
+from repro.machine.memory import PROT_READ, PROT_WRITE
+from repro.machine.program import MAGIC_PAGE_ADDR
+from repro.workloads import build_program
+
+MAX_STEPS = 2_000_000
+
+
+@dataclass
+class FaultOutcome:
+    """What one injected fault produced."""
+
+    scenario: str
+    description: str
+    #: the VM noticed the fault (recovered from it or raised on it).
+    detected: bool
+    #: the run completed with output bit-identical to a clean run.
+    recovered: bool
+    #: the FPVMFaultError subclass name, for raise-style detections.
+    error: str | None = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.detected
+
+    def __str__(self) -> str:
+        verdict = ("recovered" if self.recovered
+                   else f"raised {self.error}" if self.error
+                   else "UNDETECTED")
+        return f"{self.scenario:<28} {verdict:<32} {self.detail}"
+
+
+# ------------------------------------------------------- faulty kernel
+class FaultInjectingKernel(LinuxKernel):
+    """A LinuxKernel whose general-purpose signal delivery misbehaves
+    on demand: SIGFPE deliveries can be dropped (lost interrupt) or
+    duplicated (the classic can't-trust-signal-counts POSIX hazard)."""
+
+    def __init__(self, drop_fpe: int = 0, duplicate_fpe: bool = False):
+        super().__init__()
+        #: number of SIGFPE deliveries to swallow (-1 = all of them).
+        self.drop_fpe = drop_fpe
+        self.duplicate_fpe = duplicate_fpe
+        self.dropped = 0
+        self.duplicated = 0
+
+    def _signal_path(self, cpu, signum: int, trap) -> None:
+        if signum == SIGFPE and (self.drop_fpe == -1 or self.dropped < self.drop_fpe):
+            # The frame is never built and the handler never runs; the
+            # faulting instruction simply re-executes and re-faults.
+            self.dropped += 1
+            return
+        super()._signal_path(cpu, signum, trap)
+        if signum == SIGFPE and self.duplicate_fpe:
+            # Deliver the *same* trap again: by now the handler has
+            # moved RIP past the faulting instruction, so the handler's
+            # fault-style sanity check must flag the copy as spurious.
+            self.duplicated += 1
+            handler = self.sigactions.lookup(signum)
+            self._charge(cpu, "kernel",
+                         self.costs.kernel_internal + self.costs.signal_deliver)
+            context = SignalContext(cpu, live=False)
+            handler(signum, context, trap)
+            self._charge(cpu, "ret", self.costs.sigreturn)
+            context.apply()
+
+
+# ------------------------------------------------------------- helpers
+def _attach(config: FPVMConfig, kernel: LinuxKernel | None = None,
+            workload: str = "lorenz", scale: int = 60):
+    program = build_program(workload, scale)
+    cpu = CPU(program)
+    kernel = kernel or LinuxKernel()
+    cpu.kernel = kernel
+    vm = FPVM(config).attach(cpu, kernel)
+    return cpu, kernel, vm
+
+
+def _clean_output(config: FPVMConfig, workload: str = "lorenz",
+                  scale: int = 60) -> tuple[str, ...]:
+    cpu, _, _ = _attach(config, workload=workload, scale=scale)
+    cpu.run(max_steps=MAX_STEPS)
+    return tuple(cpu.output)
+
+
+def _outcome_from_run(name: str, description: str, cpu, clean: tuple[str, ...],
+                      detail: str) -> FaultOutcome:
+    try:
+        cpu.run(max_steps=MAX_STEPS)
+    except FPVMFaultError as err:
+        return FaultOutcome(name, description, detected=True, recovered=False,
+                            error=type(err).__name__, detail=str(err))
+    recovered = tuple(cpu.output) == clean
+    return FaultOutcome(name, description, detected=recovered,
+                        recovered=recovered,
+                        detail=detail if recovered else "output diverged silently")
+
+
+# ----------------------------------------------------------- scenarios
+def dropped_delivery_persistent() -> FaultOutcome:
+    """Every SIGFPE delivery is lost.  The faulting instruction re-
+    executes forever with no retired instructions in between — the
+    kernel's livelock detector must raise TrapStormError instead of
+    spinning."""
+    name, desc = "dropped_delivery_persistent", "all SIGFPE deliveries lost"
+    kernel = FaultInjectingKernel(drop_fpe=-1)
+    cpu, _, _ = _attach(FPVMConfig.seq(), kernel)
+    try:
+        cpu.run(max_steps=MAX_STEPS)
+    except TrapStormError as err:
+        return FaultOutcome(name, desc, detected=True, recovered=False,
+                            error="TrapStormError",
+                            detail=f"after {kernel.dropped} drops: {err}")
+    return FaultOutcome(name, desc, detected=False, recovered=False,
+                        detail="livelock not detected")
+
+
+def dropped_delivery_transient() -> FaultOutcome:
+    """A handful of deliveries are lost, then delivery resumes.  #XF is
+    fault-style, so the instruction re-faults and the late delivery
+    succeeds — the run must self-heal bit-identically."""
+    name, desc = "dropped_delivery_transient", "3 SIGFPE deliveries lost"
+    clean = _clean_output(FPVMConfig.seq())
+    kernel = FaultInjectingKernel(drop_fpe=3)
+    cpu, _, _ = _attach(FPVMConfig.seq(), kernel)
+    outcome = _outcome_from_run(name, desc, cpu, clean, "")
+    if outcome.recovered:
+        if kernel.dropped == 0:
+            return FaultOutcome(name, desc, detected=False, recovered=True,
+                                detail="no deliveries were actually dropped")
+        outcome.detail = f"self-healed after {kernel.dropped} lost deliveries"
+    return outcome
+
+
+def duplicated_delivery() -> FaultOutcome:
+    """Every SIGFPE is delivered twice.  The second copy arrives with
+    the context RIP already advanced; the handler's fault-style sanity
+    check must reject it as spurious and the output stay identical."""
+    name, desc = "duplicated_delivery", "every SIGFPE delivered twice"
+    clean = _clean_output(FPVMConfig.seq())
+    kernel = FaultInjectingKernel(duplicate_fpe=True)
+    cpu, _, vm = _attach(FPVMConfig.seq(), kernel)
+    outcome = _outcome_from_run(name, desc, cpu, clean, "")
+    if outcome.recovered:
+        if vm.telemetry.spurious_traps == 0:
+            return FaultOutcome(name, desc, detected=False, recovered=True,
+                                detail="no spurious deliveries flagged")
+        outcome.detail = (f"{vm.telemetry.spurious_traps} duplicate "
+                          "deliveries flagged spurious and ignored")
+    return outcome
+
+
+def magic_page_corruption() -> FaultOutcome:
+    """The magic-page cookie is overwritten after attach.  The first
+    trampoline rendezvous must refuse the bogus page rather than jump
+    through an attacker-controlled 'handler pointer'."""
+    name, desc = "magic_page_corruption", "magic-page cookie overwritten"
+    # three_body has a real profiler patch site, so a trampoline fires.
+    cpu, _, _ = _attach(FPVMConfig.seq_short(), workload="three_body", scale=8)
+    cpu.mem.protect(MAGIC_PAGE_ADDR, PROT_READ | PROT_WRITE)
+    cpu.mem.write_bytes(MAGIC_PAGE_ADDR,
+                        struct.pack("<Q", MAGIC_COOKIE ^ 0xFFFF))
+    cpu.mem.protect(MAGIC_PAGE_ADDR, PROT_READ)
+    try:
+        cpu.run(max_steps=MAX_STEPS)
+    except MagicPageCorruptionError as err:
+        return FaultOutcome(name, desc, detected=True, recovered=False,
+                            error="MagicPageCorruptionError", detail=str(err))
+    return FaultOutcome(name, desc, detected=False, recovered=False,
+                        detail="trampoline trusted a corrupt magic page")
+
+
+def decode_cache_poison() -> FaultOutcome:
+    """Decode-cache entries are cross-wired so a lookup returns the
+    instruction from a different address.  The cache's integrity check
+    must catch the aliased entry before it is emulated."""
+    name, desc = "decode_cache_poison", "decode cache entries cross-wired"
+    cpu, _, vm = _attach(FPVMConfig.seq())
+    fp_addrs = [a for a, i in cpu.program.by_addr.items()
+                if i.info.opclass in (OpClass.FP_ARITH, OpClass.FP_CVT)]
+    for addr in fp_addrs:
+        other = fp_addrs[0] if addr != fp_addrs[0] else fp_addrs[1]
+        vm.decode_cache.insert(addr, cpu.program.by_addr[other])
+    try:
+        cpu.run(max_steps=MAX_STEPS)
+    except DecodeCacheCorruptionError as err:
+        return FaultOutcome(name, desc, detected=True, recovered=False,
+                            error="DecodeCacheCorruptionError", detail=str(err))
+    return FaultOutcome(name, desc, detected=False, recovered=False,
+                        detail="poisoned entry emulated without complaint")
+
+
+def decode_cache_thrash() -> FaultOutcome:
+    """A 2-entry decode cache (pathological eviction pressure).  Pure
+    performance fault: everything re-decodes, nothing may change."""
+    name, desc = "decode_cache_thrash", "decode cache capacity forced to 2"
+    clean = _clean_output(FPVMConfig.seq_short())
+    config = FPVMConfig.seq_short(decode_cache_capacity=2)
+    cpu, _, vm = _attach(config)
+    outcome = _outcome_from_run(name, desc, cpu, clean, "")
+    if outcome.recovered:
+        outcome.detail = (f"bit-identical under {vm.telemetry.decode_misses} "
+                          f"misses / {vm.telemetry.decode_hits} hits")
+    return outcome
+
+
+def box_heap_pressure() -> FaultOutcome:
+    """The box heap is capped with threshold-GC disabled, so only the
+    exhaustion path can reclaim.  Emergency collections must keep the
+    run alive and bit-identical."""
+    name, desc = "box_heap_pressure", "box heap capped at 64 live boxes, GC threshold off"
+    clean = _clean_output(FPVMConfig.seq_short())
+    config = FPVMConfig.seq_short(box_capacity=64, gc_threshold=10**9)
+    cpu, _, vm = _attach(config)
+    outcome = _outcome_from_run(name, desc, cpu, clean, "")
+    if outcome.recovered:
+        if vm.telemetry.emergency_gc_runs == 0:
+            outcome.detail = "capacity never reached (cap too high to test)"
+            outcome.detected = False
+        else:
+            outcome.detail = (f"{vm.telemetry.emergency_gc_runs} emergency "
+                              "collections, output bit-identical")
+    return outcome
+
+
+def box_heap_exhaustion() -> FaultOutcome:
+    """A 2-box heap cannot hold the workload's live values even after
+    an emergency collection — the typed exhaustion error must surface
+    instead of an arbitrary wrong answer."""
+    name, desc = "box_heap_exhaustion", "box heap capped below the live set"
+    config = FPVMConfig.seq_short(box_capacity=2, gc_threshold=10**9)
+    cpu, _, _ = _attach(config)
+    try:
+        cpu.run(max_steps=MAX_STEPS)
+    except BoxHeapExhaustedError as err:
+        return FaultOutcome(name, desc, detected=True, recovered=False,
+                            error="BoxHeapExhaustedError", detail=str(err))
+    return FaultOutcome(name, desc, detected=False, recovered=False,
+                        detail="live set squeezed into 2 boxes (cap untested)")
+
+
+def device_registration_revoked() -> FaultOutcome:
+    """The /dev/fpvm_dev registration is revoked mid-flight (fd closed,
+    module unloaded).  Traps must degrade to the always-installed
+    SIGFPE fallback path, not die."""
+    name, desc = "device_registration_revoked", "short-circuit registration revoked before run"
+    clean = _clean_output(FPVMConfig.seq_short())
+    cpu, _, vm = _attach(FPVMConfig.seq_short())
+    vm._device_handle.close()
+    outcome = _outcome_from_run(name, desc, cpu, clean, "")
+    if outcome.recovered:
+        t = vm.telemetry
+        if t.short_circuit_traps or not t.signal_traps:
+            return FaultOutcome(name, desc, detected=False, recovered=True,
+                                detail="traps did not use the fallback path")
+        outcome.detail = (f"all {t.signal_traps} traps rerouted through "
+                          "the SIGFPE fallback")
+    return outcome
+
+
+def device_entry_clobbered() -> FaultOutcome:
+    """The kernel module's entry-point table is corrupted (registration
+    present but pointing nowhere).  The module must refuse delivery
+    with the typed protocol error, never jump to a junk stub."""
+    name, desc = "device_entry_clobbered", "device entry table corrupted"
+    cpu, kernel, _ = _attach(FPVMConfig.seq_short())
+    kernel.fpvm_module._entries[id(cpu)] = None
+    try:
+        cpu.run(max_steps=MAX_STEPS)
+    except DeviceProtocolError as err:
+        return FaultOutcome(name, desc, detected=True, recovered=False,
+                            error=type(err).__name__, detail=str(err))
+    return FaultOutcome(name, desc, detected=False, recovered=False,
+                        detail="clobbered entry delivered without complaint")
+
+
+#: the registry, in documentation order.
+SCENARIOS = {
+    fn.__name__: fn
+    for fn in (
+        dropped_delivery_persistent,
+        dropped_delivery_transient,
+        duplicated_delivery,
+        magic_page_corruption,
+        decode_cache_poison,
+        decode_cache_thrash,
+        box_heap_pressure,
+        box_heap_exhaustion,
+        device_registration_revoked,
+        device_entry_clobbered,
+    )
+}
+
+
+def run_scenario(name: str) -> FaultOutcome:
+    return SCENARIOS[name]()
+
+
+def run_all() -> list[FaultOutcome]:
+    return [fn() for fn in SCENARIOS.values()]

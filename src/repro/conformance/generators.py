@@ -1,0 +1,114 @@
+"""Seeded mini-C program generators for differential testing.
+
+One grammar, shared by the fuzz tests (``tests/core/
+test_differential_fuzz.py``) and the conformance matrix sweep, so the
+same program population exercises both.  Programs are generated from a
+seeded grammar over the mini-C AST: arithmetic chains, array traffic,
+branches, loops, libm calls, fused multiply-adds and negations,
+exercising promotion, boxing, sequence termination, wrappers, GC and
+correctness patches together.
+
+Everything is deterministic in the seed: ``gen_program(seed)`` always
+yields the same module, so a native run and any number of virtualized
+runs can be compared bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler import (
+    Bin, Call, Cast, FCmp, Fma, For, IBin, INum, IVar, If, Let, Load,
+    Min, Module, Neg, Num, Print, Sqrt, Store, Var,
+)
+from repro.machine.hostlib import install_host_library
+from repro.machine.program import Program
+
+#: constants the grammar draws from — a spread of magnitudes so boxing,
+#: promotion and libm domains all get exercised.
+CONSTS = [0.1, 0.2, 0.3, 0.5, 1.0, 1.5, 2.0, -0.7, 3.14159, 1e10, 1e-10, -2.5]
+LIBM = ["sin", "cos", "atan", "exp", "fabs"]
+
+
+def gen_expr(rng: random.Random, depth: int, vars_: list[str]):
+    """A random double expression of bounded depth."""
+    if depth <= 0 or rng.random() < 0.3:
+        choice = rng.random()
+        if choice < 0.45 and vars_:
+            return Var(rng.choice(vars_))
+        if choice < 0.8:
+            return Num(rng.choice(CONSTS))
+        return Load("arr", INum(rng.randrange(8)))
+    kind = rng.random()
+    if kind < 0.55:
+        op = rng.choice(["+", "-", "*", "*", "/"])
+        return Bin(op, gen_expr(rng, depth - 1, vars_), gen_expr(rng, depth - 1, vars_))
+    if kind < 0.65:
+        return Neg(gen_expr(rng, depth - 1, vars_))
+    if kind < 0.72:
+        # sqrt of a square keeps the domain safe
+        inner = gen_expr(rng, depth - 1, vars_)
+        return Sqrt(Bin("*", inner, inner))
+    if kind < 0.80:
+        return Fma(gen_expr(rng, depth - 1, vars_),
+                   gen_expr(rng, depth - 1, vars_),
+                   gen_expr(rng, depth - 1, vars_))
+    if kind < 0.88:
+        return Min(gen_expr(rng, depth - 1, vars_), gen_expr(rng, depth - 1, vars_))
+    if kind < 0.94:
+        return Call(rng.choice(LIBM), [gen_expr(rng, depth - 1, vars_)])
+    return Cast(INum(rng.randrange(-100, 100)))
+
+
+def gen_program(seed: int) -> Module:
+    """A random self-contained mini-C module printing its results."""
+    rng = random.Random(seed)
+    m = Module(fuse_fma=rng.random() < 0.5)
+    m.data_array("arr", 8)
+    main = m.function("main")
+    vars_: list[str] = []
+    # seed the array
+    main.emit(For("i", INum(0), INum(8), [
+        Store("arr", IVar("i"),
+              Bin("*", Cast(IVar("i")), Num(rng.choice(CONSTS)))),
+    ]))
+    n_stmts = rng.randrange(4, 10)
+    for s in range(n_stmts):
+        name = f"v{s % 4}"
+        kind = rng.random()
+        if kind < 0.55 or not vars_:
+            main.emit(Let(name, gen_expr(rng, 3, vars_)))
+            if name not in vars_:
+                vars_.append(name)
+        elif kind < 0.7:
+            main.emit(If(
+                FCmp(rng.choice(["<", ">", "<=", ">="]),
+                     gen_expr(rng, 2, vars_), gen_expr(rng, 2, vars_)),
+                [Let(name, gen_expr(rng, 2, vars_))],
+                [Let(name, gen_expr(rng, 2, vars_))],
+            ))
+            if name not in vars_:
+                vars_.append(name)
+        elif kind < 0.85:
+            main.emit(For("k", INum(0), INum(rng.randrange(2, 6)), [
+                Let(name, gen_expr(rng, 2, vars_)),
+                Store("arr", IBin("&", IVar("k"), INum(7)),
+                      Var(name)),
+            ]))
+            if name not in vars_:
+                vars_.append(name)
+        else:
+            main.emit(Store("arr", INum(rng.randrange(8)),
+                            gen_expr(rng, 2, vars_)))
+    for v in vars_:
+        main.emit(Print(Var(v)))
+    main.emit(Print(Load("arr", INum(rng.randrange(8)))))
+    return m
+
+
+def fuzz_program(seed: int) -> Program:
+    """Compile ``gen_program(seed)`` into a runnable image (host
+    library installed) — the conformance sweep's program factory."""
+    program = gen_program(seed).compile()
+    install_host_library(program)
+    return program

@@ -1,0 +1,273 @@
+"""The conformance matrix: configuration axes × programs, swept
+differentially.
+
+A **group** fixes (program, altmath, patch-site source, magic traps)
+and runs the four §6 trap configurations NONE / SEQ / SHORT /
+SEQ_SHORT over it.  Within a group every config must agree
+bit-for-bit on stdout and on the demoted final-memory digest: the trap
+delivery mechanism and the sequence emulator are pure accelerations
+and may never change what the program computes.  Groups running Boxed
+IEEE must additionally agree with the un-virtualized native run.
+
+Axes that change *numerics* (the altmath backend; for non-IEEE
+backends also the demotion schedule implied by patch sites and magic
+traps) live on the group, not inside it — cross-group outputs are
+never compared.
+
+Patch-site discovery is shared per group the way a developer shares a
+profiling run: the profiler runs once and its sites feed all four
+configs, so the comparison isolates the trap axes exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.conformance import oracle
+from repro.conformance.generators import fuzz_program
+from repro.core.profiler import profile_patch_sites
+from repro.core.vm import FPVMConfig
+from repro.harness.configs import CONFIG_ORDER, named_configs
+from repro.workloads import build_program
+
+#: group axes exercised by the plans, for reference/CLI help.
+PATCH_SOURCES = ("profiler", "static", "none")
+
+
+@dataclass(frozen=True)
+class Group:
+    """One comparison group: a program plus the numerics-relevant axes."""
+
+    program: str              #: workload name, or "fuzz:<seed>"
+    altmath: str = "boxed_ieee"
+    patch_source: str = "profiler"
+    magic: bool = True
+    scale: int | None = None  #: workload scale (ignored for fuzz)
+    #: extra FPVMConfig fields shared by all four configs (stress knobs:
+    #: gc_threshold, decode_cache_capacity, trap_all_fp, ...).
+    config_kwargs: tuple = ()
+
+    @property
+    def label(self) -> str:
+        bits = [self.program, self.altmath, self.patch_source,
+                "magic" if self.magic else "int3"]
+        if self.config_kwargs:
+            bits += [f"{k}={v}" for k, v in self.config_kwargs]
+        return "/".join(str(b) for b in bits)
+
+    def build_program(self):
+        """A fresh program image (attach mutates the image, so every
+        run — native included — gets its own)."""
+        if self.program.startswith("fuzz:"):
+            return fuzz_program(int(self.program.split(":", 1)[1]))
+        return build_program(self.program, self.scale)
+
+    def configs(self, patch_sites: frozenset | None) -> dict[str, FPVMConfig]:
+        common = dict(self.config_kwargs)
+        common["magic_traps"] = self.magic
+        common["patch_site_source"] = self.patch_source
+        configs = named_configs(altmath=self.altmath, **common)
+        if patch_sites is not None:
+            configs = {n: c.with_(patch_sites=patch_sites)
+                       for n, c in configs.items()}
+        return configs
+
+
+@dataclass
+class GroupResult:
+    group: Group
+    native: oracle.CellRun | None
+    runs: dict[str, oracle.CellRun] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+    invariant_failures: list[str] = field(default_factory=list)
+    skipped: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.invariant_failures
+
+    @property
+    def cells(self) -> int:
+        return len(self.runs)
+
+
+@dataclass
+class MatrixReport:
+    results: list[GroupResult] = field(default_factory=list)
+
+    @property
+    def cells(self) -> int:
+        return sum(r.cells for r in self.results)
+
+    @property
+    def mismatches(self) -> list[str]:
+        return [m for r in self.results for m in r.mismatches]
+
+    @property
+    def invariant_failures(self) -> list[str]:
+        return [m for r in self.results for m in r.invariant_failures]
+
+    @property
+    def skipped(self) -> list[str]:
+        return [f"{r.group.label}: {r.skipped}" for r in self.results if r.skipped]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+# --------------------------------------------------------------- plans
+def smoke_plan() -> list[Group]:
+    """The fast grid: 7 groups × 4 configs = 28 cells, a few seconds.
+
+    Covers every axis at least once: all four trap configs (every
+    group), two altmath backends, all three patch-site sources, magic
+    and int3 delivery, real workloads and fuzz programs.
+    """
+    return [
+        Group("lorenz", scale=60),
+        Group("fbench", scale=4),
+        # static analysis over-approximates (dozens of sites on
+        # three_body) — heavy patch traffic through the magic path.
+        Group("three_body", scale=8, patch_source="static"),
+        # the same workload through the baseline int3 path.
+        Group("three_body", scale=8, magic=False),
+        Group("fuzz:3", patch_source="none"),
+        Group("fuzz:5", altmath="mpfr"),
+        Group("fuzz:11", patch_source="static", magic=False),
+    ]
+
+
+def full_plan() -> list[Group]:
+    """The whole matrix: every workload, every altmath backend, every
+    patch source × magic combination, plus stress knobs (tiny GC
+    threshold, tiny decode cache, trap-everything decreased-precision
+    mode) and a fuzz-seed sweep."""
+    groups = list(smoke_plan())
+    # every registered workload under the default axes.
+    groups += [
+        Group("double_pendulum", scale=10),
+        Group("ffbench", scale=4),
+        Group("enzo", scale=6),
+    ]
+    # every altmath backend (cross-config identity; boxed_ieee above
+    # also proves native equality).  Scales stay small where the value
+    # representation grows with iteration count (rational denominators
+    # roughly double per lorenz step).
+    for backend, scale in (("mpfr", 60), ("posit", 20),
+                           ("interval", 20), ("rational", 10)):
+        groups.append(Group("lorenz", scale=scale, altmath=backend))
+    # decreased-precision mode: FP hardware off, every FP instruction
+    # emulated (§2.3) — the delivery axes must still be pure.
+    groups.append(Group("lorenz", scale=40, altmath="lowprec",
+                        config_kwargs=(("trap_all_fp", True),)))
+    # patch-source × magic sweep on the workload with real profiler
+    # sites.
+    groups += [
+        Group("three_body", scale=8),
+        Group("three_body", scale=8, patch_source="static", magic=False),
+    ]
+    # stress knobs: aggressive GC and a thrashing decode cache.
+    groups += [
+        Group("fuzz:7", config_kwargs=(("gc_threshold", 32),)),
+        Group("fuzz:9", config_kwargs=(("decode_cache_capacity", 4),)),
+    ]
+    # fuzz-seed sweep.
+    groups += [Group(f"fuzz:{seed}") for seed in (0, 1, 2, 13, 17, 21)]
+    return groups
+
+
+# --------------------------------------------------------------- sweep
+def run_group(group: Group, max_steps: int = oracle.DEFAULT_MAX_STEPS) -> GroupResult:
+    """Native run + the four trap configs + comparison for one group."""
+    # Share one profiling pass across the group's configs, like
+    # run_comparison does.
+    patch_sites = None
+    if group.patch_source == "profiler":
+        patch_sites = frozenset(profile_patch_sites(group.build_program()))
+    elif group.patch_source == "none":
+        # "none" is only sound for programs the profiler finds siteless:
+        # with real sites unpatched, boxed bits escape and demotion
+        # timing becomes config-dependent.
+        sites = profile_patch_sites(group.build_program())
+        if sites:
+            return GroupResult(group, None,
+                               skipped=f"{len(sites)} patch sites but "
+                                       "patch_source='none'")
+
+    native = oracle.run_native(group.build_program(), max_steps)
+    result = GroupResult(group, native)
+    configs = group.configs(patch_sites)
+    for name in CONFIG_ORDER:
+        run = oracle.run_cell(group.build_program(), configs[name], name, max_steps)
+        result.runs[name] = run
+        for failure in run.invariant_failures:
+            result.invariant_failures.append(f"{group.label}/{name}: {failure}")
+    _compare(group, native, result)
+    return result
+
+
+def _compare(group: Group, native: oracle.CellRun, result: GroupResult) -> None:
+    runs = result.runs
+    reference = runs[CONFIG_ORDER[0]]
+    for name in CONFIG_ORDER[1:]:
+        run = runs[name]
+        if run.output != reference.output:
+            result.mismatches.append(
+                f"{group.label}: stdout of {name} diverges from "
+                f"{reference.config_name}"
+            )
+        if run.memory_digest != reference.memory_digest:
+            result.mismatches.append(
+                f"{group.label}: memory digest of {name} diverges from "
+                f"{reference.config_name}"
+            )
+    if group.altmath == "boxed_ieee":
+        for name in CONFIG_ORDER:
+            run = runs[name]
+            if run.output != native.output:
+                result.mismatches.append(
+                    f"{group.label}: stdout of {name} diverges from native"
+                )
+            if run.memory_digest != native.memory_digest:
+                result.mismatches.append(
+                    f"{group.label}: memory digest of {name} diverges "
+                    "from native"
+                )
+
+
+def sweep(groups: list[Group], max_steps: int = oracle.DEFAULT_MAX_STEPS,
+          progress=None) -> MatrixReport:
+    report = MatrixReport()
+    for group in groups:
+        result = run_group(group, max_steps)
+        report.results.append(result)
+        if progress is not None:
+            progress(result)
+    return report
+
+
+# -------------------------------------------------------------- report
+def render_report(report: MatrixReport) -> str:
+    lines = []
+    for r in report.results:
+        if r.skipped:
+            lines.append(f"SKIP {r.group.label:<50} {r.skipped}")
+            continue
+        status = "ok" if r.ok else "FAIL"
+        slow = ""
+        if r.native and r.native.cycles:
+            worst = max(run.cycles for run in r.runs.values())
+            slow = f"worst slowdown {worst / r.native.cycles:5.1f}x"
+        lines.append(f"{status:>4} {r.group.label:<50} {r.cells} cells  {slow}")
+    lines.append("")
+    lines.append(
+        f"{report.cells} cells, {len(report.mismatches)} mismatches, "
+        f"{len(report.invariant_failures)} invariant failures, "
+        f"{len(report.skipped)} groups skipped"
+    )
+    for m in report.mismatches:
+        lines.append(f"  MISMATCH: {m}")
+    for m in report.invariant_failures:
+        lines.append(f"  INVARIANT: {m}")
+    return "\n".join(lines)

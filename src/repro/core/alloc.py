@@ -17,32 +17,47 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import nanbox
+from repro.errors import BoxHeapExhaustedError
 from repro.machine.memory import PAGE_SIZE
 from repro.machine.program import HEAP_BASE
 
 
 class BoxAllocator:
-    """Bump allocator with free-list reuse over a 48-bit pointer space."""
+    """Bump allocator with free-list reuse over a 48-bit pointer space.
 
-    def __init__(self, base: int = HEAP_BASE, gc_threshold: int = 4096):
+    ``capacity`` bounds the number of *live* boxes (None = unbounded up
+    to the pointer space).  Hitting the bound raises the typed
+    :class:`BoxHeapExhaustedError`; the VM catches it once to run an
+    emergency collection before giving up.
+    """
+
+    def __init__(self, base: int = HEAP_BASE, gc_threshold: int = 4096,
+                 capacity: int | None = None):
         self._base = base
         self._next = base
         self._free: list[int] = []
         self._boxes: dict[int, object] = {}
         self.gc_threshold = gc_threshold
+        self.capacity = capacity
         self.allocs_since_gc = 0
         self.total_allocations = 0
 
     # ---------------------------------------------------------- allocate
     def alloc(self, value) -> int:
         """Store ``value`` in a fresh box; returns the box pointer."""
+        if self.capacity is not None and len(self._boxes) >= self.capacity:
+            raise BoxHeapExhaustedError(
+                f"box heap at capacity ({self.capacity} live boxes)"
+            )
         if self._free:
             ptr = self._free.pop()
         else:
             ptr = self._next
             self._next += 16
             if (ptr - self._base) >> nanbox.NANBOX_PTR_BITS:
-                raise MemoryError("box heap exhausted 48-bit pointer space")
+                raise BoxHeapExhaustedError(
+                    "box heap exhausted 48-bit pointer space"
+                )
         self._boxes[ptr] = value
         self.allocs_since_gc += 1
         self.total_allocations += 1

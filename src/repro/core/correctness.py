@@ -20,6 +20,7 @@ from __future__ import annotations
 import struct
 
 from repro.core import nanbox
+from repro.errors import MagicPageCorruptionError
 from repro.machine.isa import GPR_IDS, Mem, OpClass
 from repro.machine.memory import PROT_READ, PROT_WRITE
 from repro.machine.program import MAGIC_PAGE_ADDR
@@ -63,18 +64,28 @@ class MagicTrampoline:
     def __init__(self) -> None:
         self._handler = None
         self.rendezvous_count = 0
+        #: total invocations (for the conformance oracle's invariant
+        #: corr_events == sum of trampoline calls under magic traps).
+        self.call_count = 0
 
     def __call__(self, cpu, addr: int) -> None:
+        self.call_count += 1
         if self._handler is None:
             self.rendezvous_count += 1
             cookie, handler_id = struct.unpack(
                 "<QQ", cpu.mem.read_bytes(MAGIC_PAGE_ADDR, 16)
             )
             if cookie != MAGIC_COOKIE:
-                raise RuntimeError(
-                    "magic page cookie mismatch: FPVM runtime not mapped"
+                raise MagicPageCorruptionError(
+                    f"magic page cookie mismatch at {MAGIC_PAGE_ADDR:#x}: "
+                    f"read {cookie:#x}, want {MAGIC_COOKIE:#x}"
                 )
-            self._handler = _HANDLER_REGISTRY[handler_id]
+            handler = _HANDLER_REGISTRY.get(handler_id)
+            if handler is None:
+                raise MagicPageCorruptionError(
+                    f"magic page names unknown demotion handler {handler_id}"
+                )
+            self._handler = handler
         self._handler(cpu, addr)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.errors import DecodeCacheCorruptionError
 from repro.machine.decoder import decode_instruction
 from repro.machine.isa import Instruction
 
@@ -27,6 +28,15 @@ class DecodeCache:
     def lookup(self, addr: int) -> Instruction | None:
         instr = self._entries.get(addr)
         if instr is not None:
+            if instr.addr != addr:
+                # A hit must describe the instruction *at this address*;
+                # anything else means the cache was corrupted (aliased
+                # insert, bad eviction bookkeeping, external tampering)
+                # and emulating it would run the wrong instruction.
+                raise DecodeCacheCorruptionError(
+                    f"decode cache entry at {addr:#x} decodes "
+                    f"{instr.mnemonic} @ {instr.addr:#x}"
+                )
             self.hits += 1
             self._entries.move_to_end(addr)
             return instr

@@ -162,14 +162,14 @@ class Emulator:
         vm.telemetry.promotions += 1
         return vm.altmath.promote(bits)
 
-    def _produce(self, value) -> int:
+    def _produce(self, value, context=None) -> int:
         """Alt value -> bits: canonical NaN for real NaNs, else a fresh
-        box."""
+        box (``context`` provides GC roots for emergency collection)."""
         vm = self.vm
         if vm.altmath.is_nan_value(value):
             return B.CANONICAL_QNAN
         vm.charge("altmath", vm.altmath.costs.box)
-        ptr = vm.allocator.alloc(value)
+        ptr = vm.alloc_box(value, context)
         vm.telemetry.boxes_allocated += 1
         return nanbox.box_bits(ptr)
 
@@ -195,7 +195,7 @@ class Emulator:
         if mn == "cvtsi2sd":
             vm.charge_alt_convert()
             value = vm.altmath.from_i64(ops[1].read64(context, 0, fp=False))
-            ops[0].write64(context, self._produce(value), 0, fp=True)
+            ops[0].write64(context, self._produce(value, context), 0, fp=True)
             return
         if mn in ("cvttsd2si", "cvtsd2si"):
             vm.charge_alt_convert()
@@ -239,14 +239,15 @@ class Emulator:
             vm.charge_alt("fma")
             vm.telemetry.altmath_ops["fma"] += 1
             result = vm.altmath.fma(mul2, mul1, addend)
-            ops[0].write64(context, self._produce(result), 0, fp=True)
+            ops[0].write64(context, self._produce(result, context), 0, fp=True)
             return
         if mn in ("sqrtsd", "sqrtpd"):
             lanes = 2 if mn == "sqrtpd" else 1
             for lane in range(lanes):
                 vm.charge_alt("sqrt")
                 value = self._resolve(ops[1].read64(context, lane, fp=True))
-                ops[0].write64(context, self._produce(vm.altmath.unary("sqrt", value)),
+                ops[0].write64(context,
+                               self._produce(vm.altmath.unary("sqrt", value), context),
                                lane, fp=True)
             return
         # Binary arithmetic: addsd/addpd families.
@@ -258,7 +259,7 @@ class Emulator:
             vm.charge_alt(base)
             vm.telemetry.altmath_ops[base] += 1
             result = vm.altmath.binary(base, a, b)
-            ops[0].write64(context, self._produce(result), lane, fp=True)
+            ops[0].write64(context, self._produce(result, context), lane, fp=True)
 
     def _emulate_xorpd(self, binding: Binding, context):
         ops = binding.operands

@@ -66,6 +66,12 @@ class Telemetry:
     traps: int = 0
     signal_traps: int = 0
     short_circuit_traps: int = 0
+    #: deliveries rejected by the handler's sanity check (context RIP
+    #: disagrees with the trap address — e.g. a duplicated signal).
+    spurious_traps: int = 0
+    #: collections forced by box-heap exhaustion rather than the
+    #: allocation-count threshold.
+    emergency_gc_runs: int = 0
     emulated_instructions: int = 0
     sequences: int = 0
     decode_hits: int = 0

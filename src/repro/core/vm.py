@@ -23,6 +23,7 @@ from repro.core.telemetry import CycleLedger, Telemetry
 from repro.core.wrappers import install_wrappers
 from repro.core.analysis import find_memory_escapes
 from repro.core.profiler import profile_patch_sites
+from repro.errors import BoxHeapExhaustedError
 from repro.kernel.fpvm_dev import FPVM_IOCTL_REGISTER_ENTRY, FPVMDevice
 from repro.kernel.signals import SIGFPE, SIGTRAP
 from repro.machine.costs import DEFAULT_COSTS
@@ -60,12 +61,10 @@ class FPVMConfig:
     #: §3.1 future-work: lazy GPR/FPR save/restore in the entry/exit
     #: stubs (cheaper handler entry at engineering cost in real FPVM).
     lazy_state_save: bool = False
-    #: §2.3 decreased-precision mode: disable the FP hardware so every
-    #: FP instruction traps and is emulated (pair with altmath="lowprec").
-    trap_all_fp: bool = False
-    #: §3.1 future-work: lazy GPR/FPR save/restore in the entry/exit
-    #: stubs (cheaper handler entry at engineering cost in real FPVM).
-    lazy_state_save: bool = False
+    #: cap on *live* boxes (None = unbounded).  On exhaustion the VM
+    #: runs one emergency collection before failing with the typed
+    #: :class:`~repro.errors.BoxHeapExhaustedError`.
+    box_capacity: int | None = None
 
     # ------------------------------------------------- §6 preset configs
     @classmethod
@@ -100,7 +99,8 @@ class FPVM:
         self.ledger = CycleLedger()
         self.telemetry = Telemetry()
         self.altmath = get_altmath(self.config.altmath, **self.config.altmath_kwargs)
-        self.allocator = BoxAllocator(gc_threshold=self.config.gc_threshold)
+        self.allocator = BoxAllocator(gc_threshold=self.config.gc_threshold,
+                                      capacity=self.config.box_capacity)
         self.decode_cache = DecodeCache(self.config.decode_cache_capacity)
         self.emulator = Emulator(self)
         self.sequencer = SequenceEmulator(self)
@@ -120,17 +120,20 @@ class FPVM:
         kernel.ledger = self.ledger
 
         # Trap delegation: bespoke device or POSIX signals (§2.1, §3).
+        # The SIGFPE handler is installed even when short-circuiting:
+        # exactly like the real LD_PRELOAD constructor, it is the
+        # fallback path if the device registration is ever revoked
+        # (fd closed, module unloaded) — the process degrades to
+        # general signal delivery instead of dying.
+        kernel.sigaction(SIGFPE, self._on_sigfpe)
         if self.config.trap_short_circuit:
             device = kernel.fpvm_module or FPVMDevice(kernel)
             self._device_handle = device.open(cpu)
             self._device_handle.ioctl(FPVM_IOCTL_REGISTER_ENTRY, self._entry_stub)
-        else:
-            kernel.sigaction(SIGFPE, self._on_sigfpe)
         kernel.sigaction(SIGTRAP, self._on_sigtrap)
 
         # Configure the thread's mxcsr to trap (§2.3).
         cpu.regs.mxcsr = MXCSR_FPVM
-        cpu.fp_disabled = self.config.trap_all_fp
         cpu.fp_disabled = self.config.trap_all_fp
 
         # Foreign function wrapping (§5.3).
@@ -184,7 +187,6 @@ class FPVM:
         if self.cpu is not None:
             self.cpu.regs.mxcsr = MXCSR_DEFAULT
             self.cpu.fp_disabled = False
-            self.cpu.fp_disabled = False
         self.attached = False
 
     def _discover_patch_sites(self):
@@ -201,27 +203,39 @@ class FPVM:
 
     # ---------------------------------------------------------- handlers
     def _on_sigfpe(self, signum, context, trap) -> None:
-        self._handle_fp(context, trap)
+        if self._handle_fp(context, trap):
+            self.telemetry.signal_traps += 1
 
     def _entry_stub(self, context, trap) -> None:
         """Landing pad for short-circuited delivery: the entry stub has
         already built the live ucontext (§3.1)."""
-        self.telemetry.short_circuit_traps += 1
-        self._handle_fp(context, trap)
+        if self._handle_fp(context, trap):
+            self.telemetry.short_circuit_traps += 1
 
-    def _handle_fp(self, context, trap) -> None:
+    def _handle_fp(self, context, trap) -> bool:
+        """Handle one FP trap delivery; returns False if the delivery
+        was spurious (sanity-checked and ignored)."""
         # Charge the thread that trapped (matters under multithreading).
         self.ledger.bind_cpu(context.cpu)
-        self.telemetry.traps += 1
         entry_cost = (
             self.costs.handler_entry_lazy
             if self.config.lazy_state_save
             else self.costs.handler_entry
         )
         self.charge("emul", entry_cost)
+        # Delivery sanity check: x64 #XF is fault-style, so a genuine
+        # delivery always lands with RIP at the faulting instruction.
+        # Anything else (e.g. a duplicated signal whose first copy was
+        # already handled) is spurious — emulating from a stale trap
+        # address would corrupt state, so recover by ignoring it.
+        if context.rip != trap.addr:
+            self.telemetry.spurious_traps += 1
+            return False
+        self.telemetry.traps += 1
         resume = self.sequencer.handle_fp_trap(context, trap)
         context.rip = resume
         self._maybe_gc(context)
+        return True
 
     def _on_sigtrap(self, signum, context, trap) -> None:
         """Baseline int3 correctness trap: demote then single-step."""
@@ -239,28 +253,53 @@ class FPVM:
         correctness.demote_instruction_inputs(self, cpu, addr)
 
     # ------------------------------------------------------------ GC
-    def _maybe_gc(self, context) -> None:
-        if not self.allocator.needs_gc():
-            return
+    def _gc_roots(self, context) -> list[int]:
+        """Register roots as seen from a handler: the authoritative
+        values live in the (possibly frame-mode) context, plus every
+        other thread's live registers (§2.5's per-thread scan)."""
         roots = [context.read_gpr(i) for i in range(16)]
         for xid in range(16):
             roots.append(context.read_xmm(xid, 0))
             roots.append(context.read_xmm(xid, 1))
         if self.process is not None:
-            # Every thread's registers are GC roots (§2.5's register
-            # scan, per thread).
             for thread in self.process.threads:
                 if thread is context.cpu:
                     continue
                 roots.extend(thread.regs.gpr)
                 for lanes in thread.regs.xmm:
                     roots.extend(lanes)
+        return roots
+
+    def _run_gc(self, roots: list[int] | None) -> int:
         collected, pages = self.allocator.collect(self.cpu, reg_roots=roots)
         cost = pages * self.costs.gc_per_page
         cost += (collected + self.allocator.live_count) * self.costs.gc_per_object
         self.charge("gc", cost)
         self.telemetry.gc_runs += 1
         self.telemetry.gc_objects_collected += collected
+        return collected
+
+    def _maybe_gc(self, context) -> None:
+        if not self.allocator.needs_gc():
+            return
+        self._run_gc(self._gc_roots(context))
+
+    def alloc_box(self, value, context=None) -> int:
+        """Allocate a box, falling back to one emergency collection if
+        the heap is at capacity.  ``context`` supplies the authoritative
+        register roots when called from inside a trap handler; from
+        wrapper (host-call) code the live CPU registers are correct."""
+        try:
+            return self.allocator.alloc(value)
+        except BoxHeapExhaustedError:
+            roots = None
+            if context is not None and hasattr(context, "read_gpr"):
+                roots = self._gc_roots(context)
+            self.telemetry.emergency_gc_runs += 1
+            self._run_gc(roots)
+            # Still-full heap raises the typed error to the caller: the
+            # live set genuinely exceeds the configured capacity.
+            return self.allocator.alloc(value)
 
     # ------------------------------------------------------- accounting
     def charge(self, category: str, cycles: int) -> None:

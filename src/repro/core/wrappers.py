@@ -83,6 +83,7 @@ def _make_demoting_wrapper(vm, host: HostFunction):
             if plain != bits:
                 cpu.regs.write_xmm_lane(i, 0, plain)
         cpu.cycles += host.cost
+        cpu.work_cycles += host.cost
         host.fn(cpu)
         # Postprocessing never needs to promote: FP return registers
         # are caller-save plain doubles (§5.3 footnote 6).
@@ -108,7 +109,7 @@ def _make_libm_forward_wrapper(vm, host: HostFunction):
             out = 0xFFF8_0000_0000_0000  # canonical NaN
         else:
             vm.charge("altmath", vm.altmath.costs.box)
-            ptr = vm.allocator.alloc(result)
+            ptr = vm.alloc_box(result, cpu)
             vm.telemetry.boxes_allocated += 1
             out = nanbox.box_bits(ptr)
         cpu.regs.write_xmm128(0, out, 0)

@@ -1,0 +1,63 @@
+"""Typed fault taxonomy for the FPVM trap pipeline.
+
+The paper's semantics-preservation claim (§6) is only as strong as the
+runtime's ability to *notice* when the machinery underneath it
+misbehaves.  Every defect the conformance fault-injection layer
+(:mod:`repro.conformance.faults`) can provoke — lost or duplicated
+signal deliveries, a corrupted magic page, a poisoned decode cache,
+box-heap exhaustion, device protocol misuse — maps to one subclass of
+:class:`FPVMFaultError` here, so a hardened component fails loudly with
+a machine-classifiable error instead of silently producing wrong
+numbers.
+
+The hierarchy derives from :class:`RuntimeError` so pre-existing
+callers that caught broad runtime failures keep working.
+"""
+
+from __future__ import annotations
+
+
+class FPVMFaultError(RuntimeError):
+    """Base class for every fault the FPVM runtime detects in its own
+    machinery (as opposed to faults in the *guest* program)."""
+
+    #: short machine-readable fault class, stable across messages.
+    fault = "generic"
+
+
+class TrapStormError(FPVMFaultError):
+    """The kernel observed repeated trap deliveries at one address with
+    no forward progress — the livelock signature of a lost or
+    mishandled delivery (the faulting instruction re-executes and
+    re-faults forever)."""
+
+    fault = "trap_storm"
+
+
+class MagicPageCorruptionError(FPVMFaultError):
+    """The magic-trap trampoline's rendezvous found a bad cookie or a
+    dangling handler id: the magic page is unmapped, stale, or has been
+    overwritten (§5.2's well-known-address protocol is broken)."""
+
+    fault = "magic_page"
+
+
+class DecodeCacheCorruptionError(FPVMFaultError):
+    """A decode-cache entry disagrees with the address it is filed
+    under — emulating it would execute the wrong instruction."""
+
+    fault = "decode_cache"
+
+
+class BoxHeapExhaustedError(FPVMFaultError):
+    """The box allocator hit its capacity (or the 48-bit pointer
+    space) and an emergency collection could not free a slot."""
+
+    fault = "box_heap"
+
+
+class DeviceProtocolError(FPVMFaultError):
+    """Misuse of the /dev/fpvm_dev protocol: bad ioctl, operation on a
+    closed fd, or a short-circuit delivery for an unregistered thread."""
+
+    fault = "device"

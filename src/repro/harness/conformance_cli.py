@@ -1,0 +1,64 @@
+"""``python -m repro conformance``: drive the conformance matrix and
+the fault-injection scenarios from the command line.
+
+Default is the smoke grid (≈30 cells, a couple of seconds) plus every
+fault scenario; ``--full`` sweeps the whole matrix, ``--faults-only``
+and ``--matrix-only`` cut it down, ``--scenario NAME`` runs one
+injected fault.  Exit status is non-zero on any mismatch, invariant
+failure, or undetected fault, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+from repro.conformance import faults, matrix
+
+
+def add_subparser(sub) -> None:
+    p = sub.add_parser(
+        "conformance",
+        help="differential config-matrix sweep + fault injection",
+    )
+    p.add_argument("--full", action="store_true",
+                   help="sweep the full matrix instead of the smoke grid")
+    p.add_argument("--smoke", action="store_true",
+                   help="sweep the smoke grid (the default)")
+    what = p.add_mutually_exclusive_group()
+    what.add_argument("--matrix-only", action="store_true",
+                      help="skip the fault-injection scenarios")
+    what.add_argument("--faults-only", action="store_true",
+                      help="skip the matrix sweep")
+    p.add_argument("--scenario", choices=sorted(faults.SCENARIOS),
+                   help="run a single fault scenario")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each group as it completes")
+
+
+def cmd_conformance(args) -> int:
+    failed = False
+
+    if args.scenario:
+        outcome = faults.run_scenario(args.scenario)
+        print(outcome)
+        return 0 if outcome.ok else 1
+
+    if not args.faults_only:
+        plan = matrix.full_plan() if args.full else matrix.smoke_plan()
+        grid = "full" if args.full else "smoke"
+        print(f"== conformance matrix ({grid}: {len(plan)} groups) ==")
+        progress = None
+        if args.verbose:
+            progress = lambda r: print(f"  done {r.group.label}")
+        report = matrix.sweep(plan, progress=progress)
+        print(matrix.render_report(report))
+        print()
+        failed |= not report.ok
+
+    if not args.matrix_only:
+        print(f"== fault injection ({len(faults.SCENARIOS)} scenarios) ==")
+        for outcome in faults.run_all():
+            print(f"  {'ok' if outcome.ok else 'FAIL':>4} {outcome}")
+            failed |= not outcome.ok
+        print()
+
+    print("conformance: FAIL" if failed else "conformance: all checks passed")
+    return 1 if failed else 0

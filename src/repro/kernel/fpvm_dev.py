@@ -16,13 +16,15 @@ registration.
 
 from __future__ import annotations
 
+from repro.errors import DeviceProtocolError
+
 FPVM_IOCTL_REGISTER_ENTRY = 0xF9_01
 FPVM_IOCTL_UNREGISTER = 0xF9_02
 
 DEVICE_PATH = "/dev/fpvm_dev"
 
 
-class FPVMDeviceError(Exception):
+class FPVMDeviceError(DeviceProtocolError):
     """Bad ioctl, double-registration, or use after close."""
 
 
@@ -84,7 +86,13 @@ class FPVMDevice:
     def short_circuit(self, kernel, cpu, trap) -> None:
         """Bespoke delivery: edit the interrupt frame, iret to the entry
         stub, run the FPVM handler, exit stub restores and jumps back."""
-        entry = self._entries[id(cpu)]
+        entry = self._entries.get(id(cpu))
+        if entry is None:
+            # A revoked registration must never be short-circuited into:
+            # the entry stub belongs to a process that gave it up.
+            raise FPVMDeviceError(
+                f"short-circuit delivery for unregistered thread {id(cpu):#x}"
+            )
         self.delivery_count += 1
         # Bare-minimum kernel processing + iret to the landing pad.
         kernel._charge(cpu, "kernel", kernel.costs.short_deliver)

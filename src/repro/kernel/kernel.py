@@ -11,9 +11,17 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.errors import TrapStormError
 from repro.machine.costs import DEFAULT_COSTS, CostModel
 from repro.machine.cpu import MachineError, Trap, TrapKind
 from repro.kernel.signals import SIGFPE, SIGTRAP, SigactionTable, SignalContext
+
+#: consecutive same-address trap deliveries with zero retired
+#: instructions in between before the kernel declares a livelock.  A
+#: legitimate trap loop (an FP instruction inside a hot loop) always
+#: retires at least the loop back-edge between two traps at the same
+#: address, so any honest workload stays at 1.
+TRAP_STORM_LIMIT = 16
 
 
 class _NullLedger:
@@ -37,6 +45,10 @@ class LinuxKernel:
         self.ledger = _NullLedger()
         self.trap_counts: Counter = Counter()
         self.signal_counts: Counter = Counter()
+        # Livelock detector state: (trap addr, instruction_count) of the
+        # previous delivery and how many times it has repeated verbatim.
+        self._storm_key: tuple[int, int] | None = None
+        self._storm_count = 0
 
     # ----------------------------------------------------------- syscalls
     def sigaction(self, signum: int, handler) -> None:
@@ -46,6 +58,7 @@ class LinuxKernel:
     def deliver_trap(self, cpu, trap: Trap) -> None:
         """Entry point invoked by the CPU on a hardware trap."""
         self.trap_counts[trap.kind] += 1
+        self._check_storm(cpu, trap)
         self._charge(cpu, "hw", self.costs.hw_trap)
 
         if trap.kind is TrapKind.XF:
@@ -75,6 +88,24 @@ class LinuxKernel:
         handler(signum, context, trap)
         self._charge(cpu, "ret", self.costs.sigreturn)
         context.apply()
+
+    def _check_storm(self, cpu, trap: Trap) -> None:
+        """Detect the no-forward-progress trap livelock: the same
+        address faulting over and over while the CPU retires nothing
+        (the observable signature of a lost/dropped delivery, since the
+        unhandled faulting instruction just re-executes)."""
+        key = (trap.addr, cpu.instruction_count)
+        if key == self._storm_key:
+            self._storm_count += 1
+            if self._storm_count >= TRAP_STORM_LIMIT:
+                raise TrapStormError(
+                    f"trap storm: {trap.kind.value} at {trap.addr:#x} "
+                    f"delivered {self._storm_count} times with no retired "
+                    "instructions (lost delivery?)"
+                )
+        else:
+            self._storm_key = key
+            self._storm_count = 1
 
     # -------------------------------------------------------- accounting
     def _charge(self, cpu, category: str, cycles: int) -> None:

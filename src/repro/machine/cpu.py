@@ -83,6 +83,12 @@ class CPU:
         self.mem = Memory()
         self.regs = RegisterFile()
         self.cycles = 0
+        #: cycles the *guest* earned (retired instructions + host-library
+        #: bodies).  Everything else in ``cycles`` is delivery/handler
+        #: machinery, which the FPVM ledger accounts for category by
+        #: category — so an attached run must satisfy
+        #: ``cycles == work_cycles + ledger.total()`` exactly.
+        self.work_cycles = 0
         self.instruction_count = 0
         self.retired_by_class: Counter = Counter()
         self.fp_trap_count = 0
@@ -164,6 +170,7 @@ class CPU:
         if handler(instr) is not False:
             # Retired.
             self.cycles += instr.info.cost
+            self.work_cycles += instr.info.cost
             self.instruction_count += 1
             self.retired_by_class[instr.opclass] += 1
 
@@ -575,6 +582,7 @@ class CPU:
             host = self.program.host_functions.get(target)
             if host is not None:
                 self.cycles += host.cost
+                self.work_cycles += host.cost
                 self.regs.rip = next_rip
                 host.fn(self)
             else:

@@ -76,6 +76,7 @@ class Process:
 
         thread.regs = RegisterFile()
         thread.cycles = 0
+        thread.work_cycles = 0
         thread.instruction_count = 0
         from collections import Counter
 

@@ -1,0 +1,121 @@
+"""Golden-file tests for the figure pipeline.
+
+Each test regenerates a figure exactly the way ``python -m repro
+figures`` / the bench suite does and diffs it against the committed
+text under ``benchmarks/results/``.  The diff is tolerance-aware:
+numbers may drift within a small relative tolerance (cost-model
+tweaks legitimately move cycle counts a little), but the surrounding
+prose, table structure, and row order must match exactly — so a
+formatting regression or a renamed workload fails loudly while a
+0.1% cycle wiggle does not.
+
+The microbenchmark-backed figures are fast and run in tier-1; the
+full-suite figures (a 6-workload × 4-config matrix each) are marked
+``slow``.
+"""
+
+import math
+import pathlib
+import re
+
+import pytest
+
+from repro.harness import figures, report
+
+RESULTS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?")
+
+
+def tolerant_diff(golden: str, fresh: str, rtol: float = 0.05) -> list[str]:
+    """Differences between two rendered figures, ignoring numeric drift
+    within ``rtol``.  Returns human-readable complaints (empty = match).
+    """
+    problems = []
+    g_lines = golden.strip().splitlines()
+    f_lines = fresh.strip().splitlines()
+    if len(g_lines) != len(f_lines):
+        problems.append(f"line count {len(f_lines)} != golden {len(g_lines)}")
+    for lineno, (g, f) in enumerate(zip(g_lines, f_lines), start=1):
+        if _NUMBER.sub("#", g) != _NUMBER.sub("#", f):
+            problems.append(f"line {lineno} text differs:\n  golden: {g}\n  fresh:  {f}")
+            continue
+        g_nums = [float(m) for m in _NUMBER.findall(g)]
+        f_nums = [float(m) for m in _NUMBER.findall(f)]
+        for gv, fv in zip(g_nums, f_nums):
+            if not math.isclose(gv, fv, rel_tol=rtol, abs_tol=0.5):
+                problems.append(
+                    f"line {lineno}: {fv} vs golden {gv} (>{rtol:.0%} drift)\n"
+                    f"  golden: {g}"
+                )
+    return problems
+
+
+def assert_matches_golden(name: str, fresh: str, rtol: float = 0.05) -> None:
+    golden = (RESULTS / f"{name}.txt").read_text()
+    problems = tolerant_diff(golden, fresh, rtol)
+    assert not problems, f"{name}.txt: " + "\n".join(problems)
+
+
+# ----------------------------------------------- fast (microbench-backed)
+def test_trap_microbench_matches_golden():
+    fresh = report.render_trap_costs(
+        figures.trap_microbenchmark(), "Trap delegation microbenchmark (§2.3/§3)")
+    assert_matches_golden("trap_microbench", fresh)
+
+
+def test_fig02_matches_golden():
+    table = figures.figure2()
+    fresh = "\n".join([
+        "Figure 2: trap delivery path comparison",
+        "",
+        f"  regular signal delivery + return: {table.signal_delivery + table.sigreturn:7.0f} cycles",
+        f"  short-circuit delivery + return:  {table.short_delivery + table.short_return:7.0f} cycles",
+        f"  reduction: {table.delegation_reduction:.1f}x (paper: ~8x)",
+    ])
+    assert_matches_golden("fig02", fresh)
+
+
+def test_fig03_matches_golden():
+    fresh = report.render_magic_costs(
+        figures.figure3(), "Figure 3: magic traps vs int3 correctness traps")
+    assert_matches_golden("fig03", fresh)
+
+
+# -------------------------------------------------- slow (full suites)
+@pytest.fixture(scope="module")
+def boxed_suite():
+    return figures.Suite("boxed_ieee")
+
+
+@pytest.mark.slow
+def test_fig01_matches_golden(boxed_suite):
+    fresh = report.render_breakdown(
+        figures.figure1(boxed_suite),
+        "Figure 1: baseline cost breakdown (Boxed IEEE, NONE)")
+    assert_matches_golden("fig01", fresh)
+
+
+@pytest.mark.slow
+def test_fig04_matches_golden(boxed_suite):
+    fresh = report.render_slowdown(
+        figures.figure4(boxed_suite),
+        "Figure 4: application slowdown (Boxed IEEE)")
+    assert_matches_golden("fig04", fresh)
+
+
+@pytest.mark.slow
+def test_fig05_matches_golden(boxed_suite):
+    fresh = report.render_slowdown(
+        figures.figure5(boxed_suite),
+        "Figure 5: slowdown from lower bound (Boxed IEEE)",
+        "vs native+altmath")
+    assert_matches_golden("fig05", fresh)
+
+
+@pytest.mark.slow
+def test_fig06_matches_golden(boxed_suite):
+    fresh = report.render_breakdown_by_config(
+        figures.figure6(boxed_suite),
+        "Figure 6: cost breakdown with accelerations (Boxed IEEE)")
+    assert_matches_golden("fig06", fresh)

@@ -2,107 +2,21 @@
 bit-for-bit identical output natively and under FPVM (Boxed IEEE), for
 every configuration — the strongest form of the paper's §6 validation.
 
-Programs are generated from a seeded grammar over the mini-C AST:
-arithmetic chains, array traffic, branches, loops, libm calls, fused
-multiply-adds and negations, exercising promotion, boxing, sequence
-termination, wrappers, GC and correctness patches together.
+The program grammar lives in :mod:`repro.conformance.generators` and is
+shared with the conformance matrix sweep (``python -m repro
+conformance``), so both exercise the same program population.
 """
 
-import random
-
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.compiler import (
-    Bin, Call, Cast, FCmp, Fma, For, IBin, INum, IVar, If, Let, Load,
-    Max, Min, Module, Neg, Num, Print, Sqrt, Store, Var,
-)
+from repro.conformance.generators import gen_program
 from repro.core.vm import FPVM, FPVMConfig
 from repro.kernel.kernel import LinuxKernel
 from repro.machine.cpu import CPU
 from repro.machine.hostlib import install_host_library
 
-_CONSTS = [0.1, 0.2, 0.3, 0.5, 1.0, 1.5, 2.0, -0.7, 3.14159, 1e10, 1e-10, -2.5]
-_LIBM = ["sin", "cos", "atan", "exp", "fabs"]
 
-
-def _gen_expr(rng: random.Random, depth: int, vars_: list[str]):
-    """A random double expression of bounded depth."""
-    if depth <= 0 or rng.random() < 0.3:
-        choice = rng.random()
-        if choice < 0.45 and vars_:
-            return Var(rng.choice(vars_))
-        if choice < 0.8:
-            return Num(rng.choice(_CONSTS))
-        return Load("arr", INum(rng.randrange(8)))
-    kind = rng.random()
-    if kind < 0.55:
-        op = rng.choice(["+", "-", "*", "*", "/"])
-        return Bin(op, _gen_expr(rng, depth - 1, vars_), _gen_expr(rng, depth - 1, vars_))
-    if kind < 0.65:
-        return Neg(_gen_expr(rng, depth - 1, vars_))
-    if kind < 0.72:
-        # sqrt of a square keeps the domain safe
-        inner = _gen_expr(rng, depth - 1, vars_)
-        return Sqrt(Bin("*", inner, inner))
-    if kind < 0.80:
-        return Fma(_gen_expr(rng, depth - 1, vars_),
-                   _gen_expr(rng, depth - 1, vars_),
-                   _gen_expr(rng, depth - 1, vars_))
-    if kind < 0.88:
-        return Min(_gen_expr(rng, depth - 1, vars_), _gen_expr(rng, depth - 1, vars_))
-    if kind < 0.94:
-        return Call(rng.choice(_LIBM), [_gen_expr(rng, depth - 1, vars_)])
-    return Cast(INum(rng.randrange(-100, 100)))
-
-
-def _gen_program(seed: int) -> Module:
-    rng = random.Random(seed)
-    m = Module(fuse_fma=rng.random() < 0.5)
-    m.data_array("arr", 8)
-    main = m.function("main")
-    vars_: list[str] = []
-    # seed the array
-    main.emit(For("i", INum(0), INum(8), [
-        Store("arr", IVar("i"),
-              Bin("*", Cast(IVar("i")), Num(rng.choice(_CONSTS)))),
-    ]))
-    n_stmts = rng.randrange(4, 10)
-    for s in range(n_stmts):
-        name = f"v{s % 4}"
-        kind = rng.random()
-        if kind < 0.55 or not vars_:
-            main.emit(Let(name, _gen_expr(rng, 3, vars_)))
-            if name not in vars_:
-                vars_.append(name)
-        elif kind < 0.7:
-            main.emit(If(
-                FCmp(rng.choice(["<", ">", "<=", ">="]),
-                     _gen_expr(rng, 2, vars_), _gen_expr(rng, 2, vars_)),
-                [Let(name, _gen_expr(rng, 2, vars_))],
-                [Let(name, _gen_expr(rng, 2, vars_))],
-            ))
-            if name not in vars_:
-                vars_.append(name)
-        elif kind < 0.85:
-            main.emit(For("k", INum(0), INum(rng.randrange(2, 6)), [
-                Let(name, _gen_expr(rng, 2, vars_)),
-                Store("arr", IBin("&", IVar("k"), INum(7)),
-                      Var(name)),
-            ]))
-            if name not in vars_:
-                vars_.append(name)
-        else:
-            main.emit(Store("arr", INum(rng.randrange(8)),
-                            _gen_expr(rng, 2, vars_)))
-    for v in vars_:
-        main.emit(Print(Var(v)))
-    main.emit(Print(Load("arr", INum(rng.randrange(8)))))
-    return m
-
-
-def _run(module: Module, config: FPVMConfig | None):
+def _run(module, config: FPVMConfig | None):
     prog = module.compile()
     install_host_library(prog)
     cpu = CPU(prog)
@@ -116,9 +30,8 @@ def _run(module: Module, config: FPVMConfig | None):
 
 @pytest.mark.parametrize("seed", range(12))
 def test_random_programs_bit_for_bit_seq_short(seed):
-    module = _gen_program(seed)
-    native = _run(module, None)
-    virt = _run(_gen_program(seed), FPVMConfig.seq_short())
+    native = _run(gen_program(seed), None)
+    virt = _run(gen_program(seed), FPVMConfig.seq_short())
     assert virt == native, f"seed {seed} diverged"
 
 
@@ -130,8 +43,8 @@ def test_random_programs_bit_for_bit_all_configs(seed, config_name):
         "SEQ": FPVMConfig.seq(),
         "SHORT": FPVMConfig.short(),
     }[config_name]
-    native = _run(_gen_program(seed), None)
-    virt = _run(_gen_program(seed), config)
+    native = _run(gen_program(seed), None)
+    virt = _run(gen_program(seed), config)
     assert virt == native, f"seed {seed} diverged under {config_name}"
 
 
@@ -139,9 +52,9 @@ def test_random_programs_bit_for_bit_all_configs(seed, config_name):
 def test_random_programs_int3_and_static_analysis(seed):
     """The slower, baseline-flavoured instrumentation paths must also
     preserve semantics."""
-    native = _run(_gen_program(seed), None)
+    native = _run(gen_program(seed), None)
     virt = _run(
-        _gen_program(seed),
+        gen_program(seed),
         FPVMConfig.seq_short(magic_traps=False, patch_site_source="static"),
     )
     assert virt == native
@@ -150,6 +63,16 @@ def test_random_programs_int3_and_static_analysis(seed):
 @pytest.mark.parametrize("seed", [300, 301])
 def test_random_programs_tiny_gc_threshold(seed):
     """Aggressive GC must never change results."""
-    native = _run(_gen_program(seed), None)
-    virt = _run(_gen_program(seed), FPVMConfig.seq_short(gc_threshold=32))
+    native = _run(gen_program(seed), None)
+    virt = _run(gen_program(seed), FPVMConfig.seq_short(gc_threshold=32))
     assert virt == native
+
+
+def test_generator_is_deterministic():
+    """Seed-identical modules compile to identical images — the
+    property every differential comparison in the repo leans on."""
+    a = gen_program(42).compile()
+    b = gen_program(42).compile()
+    assert a.data == b.data
+    assert [(addr, i.mnemonic) for addr, i in a.by_addr.items()] == \
+           [(addr, i.mnemonic) for addr, i in b.by_addr.items()]
