@@ -1,0 +1,107 @@
+"""Host-throughput benchmark for the micro-op pipeline.
+
+Runs each workload twice — micro-op pipeline OFF (the seed single-step
+interpreter) and ON — asserts the simulated results are bit-identical
+(cycles, instruction count, stdout), and reports host wall-clock
+guest-instructions/sec for both, writing ``BENCH_pipeline.json``.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick] [--out PATH]
+
+``--quick`` runs reduced scales (the perf-smoke CI job); the default
+scales match the ISSUE acceptance run.  The committed baseline lives at
+``benchmarks/baselines/BENCH_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.harness.runner import run_native
+
+#: (workload, full_scale, quick_scale)
+WORKLOADS = [
+    ("fbench", None, 6),    # None = the registry's default scale
+    ("lorenz", None, 150),
+]
+REPS = 3
+
+
+def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
+    """Best-of-``reps`` for each tier, with result-equality checks."""
+    runs = {}
+    for label, uops in (("interp", False), ("uops", True)):
+        best = None
+        for _ in range(reps):
+            result = run_native(workload, scale, uops=uops)
+            if best is None or result.host.seconds < best.host.seconds:
+                best = result
+        runs[label] = best
+
+    interp, uops = runs["interp"], runs["uops"]
+    identical = (
+        interp.cycles == uops.cycles
+        and interp.instructions == uops.instructions
+        and interp.output == uops.output
+    )
+    if not identical:
+        raise AssertionError(
+            f"{workload}: uop pipeline diverged from the interpreter "
+            f"(cycles {interp.cycles} vs {uops.cycles}, "
+            f"instructions {interp.instructions} vs {uops.instructions})"
+        )
+    return {
+        "workload": workload,
+        "scale": scale,
+        "instructions": uops.instructions,
+        "simulated_cycles": uops.cycles,
+        "identical_results": identical,
+        "interp_seconds": interp.host.seconds,
+        "interp_ips": interp.host.ips,
+        "uops_seconds": uops.host.seconds,
+        "uops_ips": uops.host.ips,
+        "speedup": interp.host.seconds / uops.host.seconds,
+        "uop_stats": uops.host.uop_stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced scales (CI perf-smoke)")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=pathlib.Path(__file__).parent / "results" / "BENCH_pipeline.json")
+    ap.add_argument("--reps", type=int, default=REPS)
+    args = ap.parse_args(argv)
+
+    results = []
+    for workload, full, quick in WORKLOADS:
+        scale = quick if args.quick else full
+        row = bench_one(workload, scale, args.reps)
+        results.append(row)
+        print(f"{workload:>10}: interp {row['interp_ips']:>10,.0f} i/s | "
+              f"uops {row['uops_ips']:>10,.0f} i/s | "
+              f"speedup {row['speedup']:.2f}x | identical={row['identical_results']}")
+
+    doc = {
+        "benchmark": "uop_pipeline",
+        "quick": args.quick,
+        "reps": args.reps,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": results,
+        "min_speedup": min(r["speedup"] for r in results),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out} (min speedup {doc['min_speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,11 @@ Keyed by instruction address.  A hit costs ``decache`` cycles; a miss
 invokes the Capstone-analog decoder over the instruction's raw bytes
 and costs ``decode`` cycles.  The default capacity is the paper's: 64K
 entries (runs in the paper never exceed ~2000 live entries; §6.3).
+
+Entries are stored as lowered :class:`~repro.machine.uops.MicroOp`\\ s
+— the same pre-decoded IR the CPU's superblock engine executes — so a
+hit hands the emulator an instruction whose operand metadata and
+dispatch decision were resolved exactly once.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from collections import OrderedDict
 
 from repro.errors import DecodeCacheCorruptionError
 from repro.machine.decoder import decode_instruction
-from repro.machine.isa import Instruction
+from repro.machine.uops import MicroOp, lower
 
 
 class DecodeCache:
@@ -21,39 +26,43 @@ class DecodeCache:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
-        self._entries: "OrderedDict[int, Instruction]" = OrderedDict()
+        self._entries: "OrderedDict[int, MicroOp]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, addr: int) -> Instruction | None:
-        instr = self._entries.get(addr)
-        if instr is not None:
-            if instr.addr != addr:
+    def lookup(self, addr: int) -> MicroOp | None:
+        uop = self._entries.get(addr)
+        if uop is not None:
+            if uop.addr != addr:
                 # A hit must describe the instruction *at this address*;
                 # anything else means the cache was corrupted (aliased
                 # insert, bad eviction bookkeeping, external tampering)
                 # and emulating it would run the wrong instruction.
                 raise DecodeCacheCorruptionError(
                     f"decode cache entry at {addr:#x} decodes "
-                    f"{instr.mnemonic} @ {instr.addr:#x}"
+                    f"{uop.mnemonic} @ {uop.addr:#x}"
                 )
             self.hits += 1
             self._entries.move_to_end(addr)
-            return instr
+            return uop
         return None
 
-    def insert(self, addr: int, instr: Instruction) -> None:
+    def insert(self, addr: int, instr) -> None:
+        """Accepts a raw :class:`Instruction` (lowered on the way in) or
+        an already-lowered :class:`MicroOp`."""
+        if not isinstance(instr, MicroOp):
+            instr = lower(instr)
         self._entries[addr] = instr
         self._entries.move_to_end(addr)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)  # evict LRU
 
-    def decode_miss(self, addr: int, raw: bytes) -> Instruction:
+    def decode_miss(self, addr: int, raw: bytes) -> MicroOp:
         """Decode from bytes (the expensive path) and fill the cache."""
         self.misses += 1
-        instr = decode_instruction(raw, addr=addr)
-        self.insert(addr, instr)
-        return instr
+        uop = lower(decode_instruction(raw, addr=addr))
+        self.insert(addr, uop)
+        return uop
 
     def __len__(self) -> int:
         return len(self._entries)

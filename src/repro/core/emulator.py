@@ -25,6 +25,7 @@ from repro.core.binding import Binding, bind
 from repro.fpu import bits as B
 from repro.fpu.ieee import UCOMI_EQUAL, UCOMI_GREATER, UCOMI_LESS, UCOMI_UNORDERED
 from repro.machine.isa import Instruction, OpClass
+from repro.machine.uops import CMP_PREDS, CMP_TABLES, MicroOp, lower
 
 U64 = 0xFFFF_FFFF_FFFF_FFFF
 RSP = 7
@@ -53,23 +54,10 @@ DEFAULT_SUPPORTED = frozenset(
     }
 )
 
-_CMP_PREDS = {
-    "cmpeqsd": "eq", "cmpltsd": "lt", "cmplesd": "le", "cmpneqsd": "neq",
-    "cmpnltsd": "nlt", "cmpnlesd": "nle", "cmpordsd": "ord",
-    "cmpunordsd": "unord",
-}
-
-#: cmp predicate -> (result_if_unordered, fn(c) for ordered c in {-1,0,1})
-_CMP_TABLES = {
-    "eq": (False, lambda c: c == 0),
-    "lt": (False, lambda c: c < 0),
-    "le": (False, lambda c: c <= 0),
-    "neq": (True, lambda c: c != 0),
-    "nlt": (True, lambda c: not (c < 0)),
-    "nle": (True, lambda c: not (c <= 0)),
-    "ord": (False, lambda c: True),
-    "unord": (True, lambda c: False),
-}
+# cmp mnemonic/predicate tables live with the micro-op IR so the CPU's
+# fast closures and the emulator share one definition.
+_CMP_PREDS = CMP_PREDS
+_CMP_TABLES = CMP_TABLES
 
 
 class Emulator:
@@ -120,27 +108,32 @@ class Emulator:
             yield ops[1].read64(context, lane, fp=True)
 
     # --------------------------------------------------------- emulation
-    def emulate(self, instr: Instruction, context) -> bool:
+    def emulate(self, instr: Instruction | MicroOp, context) -> bool:
         """Emulate one instruction; returns False if unsupported.
         Charges bind/emul/altmath and advances nothing — the caller
-        owns RIP."""
-        if not self.supported(instr):
+        owns RIP.
+
+        Accepts a raw :class:`Instruction` or a lowered
+        :class:`MicroOp`; raw instructions are lowered (cached on the
+        instruction) so the dispatch decision is resolved once.
+        """
+        uop = instr if isinstance(instr, MicroOp) else lower(instr)
+        if uop.mnemonic not in self.supported_set:
             return False
         vm = self.vm
-        binding = bind(instr, context)
+        binding = bind(uop, context)
         vm.charge("bind", vm.costs.bind_per_operand * binding.cost_units)
         vm.charge("emul", vm.costs.emul_dispatch)
 
-        opclass = instr.opclass
-        mn = instr.mnemonic
-        if opclass in (OpClass.FP_ARITH, OpClass.FP_CVT):
-            self._emulate_fp(mn, instr, binding, context)
-        elif mn == "xorpd":
+        kind = uop.emu_kind
+        if uop.fp_trap_capable:
+            self._emulate_fp(kind, uop, binding, context)
+        elif kind == "xorpd":
             self._emulate_xorpd(binding, context)
-        elif opclass is OpClass.FP_MOV:
-            self._emulate_fp_move(mn, binding, context)
+        elif kind == "fpmov":
+            self._emulate_fp_move(uop.mnemonic, binding, context)
         else:
-            self._emulate_int_move(mn, binding, context)
+            self._emulate_int_move(uop.mnemonic, binding, context)
         vm.telemetry.emulated_instructions += 1
         vm.ledger.count("emulated_instructions")
         return True
@@ -189,21 +182,23 @@ class Emulator:
         return bits
 
     # ------------------------------------------------------ FP semantics
-    def _emulate_fp(self, mn: str, instr: Instruction, binding: Binding, context):
+    def _emulate_fp(self, kind: str, uop, binding: Binding, context):
+        """Dispatch on the micro-op's pre-resolved emulation kind (the
+        lowering pass already classified the mnemonic)."""
         vm = self.vm
         ops = binding.operands
-        if mn == "cvtsi2sd":
+        if kind == "cvtsi2sd":
             vm.charge_alt_convert()
             value = vm.altmath.from_i64(ops[1].read64(context, 0, fp=False))
             ops[0].write64(context, self._produce(value, context), 0, fp=True)
             return
-        if mn in ("cvttsd2si", "cvtsd2si"):
+        if kind == "cvt2si":
             vm.charge_alt_convert()
             value = self._resolve(ops[1].read64(context, 0, fp=True))
-            out = vm.altmath.to_i64(value, truncate=(mn == "cvttsd2si"))
+            out = vm.altmath.to_i64(value, truncate=uop.emu_arg)
             ops[0].write64(context, out, 0, fp=False)
             return
-        if mn in ("ucomisd", "comisd"):
+        if kind == "ucomi":
             a = self._resolve(ops[0].read64(context, 0, fp=True))
             b = self._resolve(ops[1].read64(context, 0, fp=True))
             vm.charge("altmath", vm.altmath.costs.compare)
@@ -221,17 +216,16 @@ class Emulator:
             flags.sf = False
             flags.of = False
             return
-        if mn in _CMP_PREDS:
-            pred = _CMP_PREDS[mn]
+        if kind == "cmp":
             a = self._resolve(ops[0].read64(context, 0, fp=True))
             b = self._resolve(ops[1].read64(context, 0, fp=True))
             vm.charge("altmath", vm.altmath.costs.compare)
             c = vm.altmath.compare(a, b)
-            if_unord, fn = _CMP_TABLES[pred]
+            if_unord, fn = _CMP_TABLES[uop.emu_arg]
             hit = if_unord if c is None else fn(c)
             ops[0].write64(context, U64 if hit else 0, 0, fp=True)
             return
-        if mn == "vfmadd213sd":
+        if kind == "fma":
             # dst = src2 * dst + src3 (the 213 operand order).
             mul2 = self._resolve(ops[1].read64(context, 0, fp=True))
             mul1 = self._resolve(ops[0].read64(context, 0, fp=True))
@@ -241,9 +235,8 @@ class Emulator:
             result = vm.altmath.fma(mul2, mul1, addend)
             ops[0].write64(context, self._produce(result, context), 0, fp=True)
             return
-        if mn in ("sqrtsd", "sqrtpd"):
-            lanes = 2 if mn == "sqrtpd" else 1
-            for lane in range(lanes):
+        if kind == "sqrt":
+            for lane in range(uop.emu_arg):
                 vm.charge_alt("sqrt")
                 value = self._resolve(ops[1].read64(context, lane, fp=True))
                 ops[0].write64(context,
@@ -251,9 +244,8 @@ class Emulator:
                                lane, fp=True)
             return
         # Binary arithmetic: addsd/addpd families.
-        base = instr.info.ieee
-        lanes = instr.info.lanes
-        for lane in range(lanes):
+        base = uop.ieee
+        for lane in range(uop.lanes):
             a = self._resolve(ops[0].read64(context, lane, fp=True))
             b = self._resolve(ops[1].read64(context, lane, fp=True))
             vm.charge_alt(base)

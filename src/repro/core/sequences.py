@@ -27,6 +27,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.machine.isa import Instruction
+from repro.machine.uops import lower
 
 
 @dataclass
@@ -129,19 +130,69 @@ class TraceStatistics:
         return "\n".join(lines)
 
 
+@dataclass
+class CompiledTrace:
+    """A hot trace promoted into a pre-resolved closure (§4.2's trace
+    cache made literal).
+
+    ``steps`` caches per-address what the interpreted loop re-derives
+    on every trap: whether the boxed-source probe applies (static:
+    FP-trap-capable and not ``cvtsi2sd``) and the instruction size.
+    Execution still fetches each instruction through the decode cache
+    (identical charging and hit accounting) and runs the data-dependent
+    probes — only the host-side re-decisions (patch lookups, supported
+    checks, loop control) are compiled away.  Built only for trace
+    shapes whose mid-trace stops are data probes; anything else stays
+    interpreted.
+    """
+
+    entry: int
+    #: (addr, probe_needed) per emulated instruction of the hot trace.
+    steps: list[tuple[int, bool]]
+    #: address of the recorded terminator (first non-emulated instr).
+    end: int
+    hits: int = 0
+
+
 class SequenceEmulator:
-    """Drives the emulate-until-termination loop for one trap."""
+    """Drives the emulate-until-termination loop for one trap.
+
+    Hot traces — the same emulated address sequence seen
+    ``trace_compile_threshold`` times — are promoted into
+    :class:`CompiledTrace` closures keyed by entry address.  The whole
+    compiled tier is invalidated when the program's ``patch_epoch``
+    changes (a patch appearing mid-trace must terminate emulation, and
+    a stale compiled trace would silently run through it).
+    """
 
     def __init__(self, vm) -> None:
         self.vm = vm
         self.stats = TraceStatistics() if vm.config.collect_trace_stats else None
+        self._compiled: dict[int, CompiledTrace] = {}
+        self._heat: Counter = Counter()
+        self._epoch: int | None = None
+        self._threshold = getattr(vm.config, "trace_compile_threshold", 0)
 
     def handle_fp_trap(self, context, trap) -> int:
         """Emulate starting at the faulting instruction; returns the
         address execution should resume at."""
         vm = self.vm
         addr = trap.addr
-        emulated: list[int] = []
+        epoch = vm.program.patch_epoch
+        if epoch != self._epoch:
+            self._compiled.clear()
+            self._heat.clear()
+            self._epoch = epoch
+        trace = self._compiled.get(addr)
+        if trace is not None:
+            return self._run_compiled(trace, context)
+        return self._interpret(context, addr, [])
+
+    def _interpret(self, context, addr: int, emulated: list[int]) -> int:
+        """The interpreted emulate-until-termination loop.  ``emulated``
+        carries the prefix already executed by a compiled trace whose
+        recorded terminator turned out not to stop this time."""
+        vm = self.vm
         terminator = ""
         reason = "single"
 
@@ -168,10 +219,72 @@ class SequenceEmulator:
                 reason = "single"
                 break
 
+        self._finish(tuple(emulated), terminator, reason)
+        return addr
+
+    # ------------------------------------------------- compiled tier
+    def _run_compiled(self, trace: CompiledTrace, context) -> int:
+        """Replay a hot trace.  Charging, decode-cache traffic, and all
+        data-dependent decisions are identical to the interpreted loop;
+        divergence (an earlier probe stop, or a recorded terminator that
+        no longer stops) is handled exactly as a fresh walk would."""
+        vm = self.vm
+        emulator = vm.emulator
+        vm.telemetry.compiled_trace_hits += 1
+        trace.hits += 1
+        emulated: list[int] = []
+        for addr, probe in trace.steps:
+            uop = self._fetch(addr)
+            if emulated and probe and not emulator.any_source_boxed(uop, context):
+                # Data-dependent early stop, same as interpreted.
+                self._finish(tuple(emulated), uop.mnemonic, "no_boxed_source")
+                return addr
+            emulator.emulate(uop, context)
+            emulated.append(addr)
+        term = self._fetch(trace.end)
+        stop, why = self._should_stop(term, context)
+        if stop:
+            self._finish(tuple(emulated), term.mnemonic, why)
+            return trace.end
+        # The recorded terminator doesn't stop under this data (its
+        # sources became boxed): continue interpreting past it.
+        return self._interpret(context, trace.end, emulated)
+
+    def _finish(self, addrs: tuple[int, ...], terminator: str, reason: str) -> None:
+        """Shared sequence epilogue: telemetry, statistics, and the
+        heat-based promotion into the compiled tier."""
+        vm = self.vm
         vm.telemetry.sequences += 1
         if self.stats is not None:
-            self.stats.record(tuple(emulated), terminator, reason)
-        return addr
+            self.stats.record(addrs, terminator, reason)
+        if (
+            self._threshold > 0
+            and len(addrs) >= 2
+            and vm.config.sequence_emulation
+            and getattr(vm, "uops_enabled", True)
+            and addrs[0] not in self._compiled
+        ):
+            heat = self._heat
+            heat[addrs] += 1
+            if heat[addrs] >= self._threshold:
+                self._compile(addrs)
+
+    def _compile(self, addrs: tuple[int, ...]) -> None:
+        vm = self.vm
+        by_addr = vm.program.by_addr
+        steps: list[tuple[int, bool]] = []
+        for addr in addrs:
+            instr = by_addr.get(addr)
+            if instr is None:
+                return  # decoded off the static image: stay interpreted
+            uop = lower(instr)
+            probe = uop.fp_trap_capable and uop.mnemonic != "cvtsi2sd"
+            steps.append((addr, probe))
+        last = by_addr[addrs[-1]]
+        end = addrs[-1] + last.size
+        self._compiled[addrs[0]] = CompiledTrace(addrs[0], steps, end)
+        vm.telemetry.compiled_traces += 1
+        del self._heat[addrs]
 
     def _fetch(self, addr: int) -> Instruction:
         """Decode-cache lookup with cost charging; misses also insert

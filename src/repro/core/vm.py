@@ -29,6 +29,7 @@ from repro.kernel.signals import SIGFPE, SIGTRAP
 from repro.machine.costs import DEFAULT_COSTS
 from repro.machine.program import PatchKind
 from repro.machine.registers import MXCSR_DEFAULT, MXCSR_FPVM
+from repro.machine.uops import uops_enabled_default
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,13 @@ class FPVMConfig:
     #: runs one emergency collection before failing with the typed
     #: :class:`~repro.errors.BoxHeapExhaustedError`.
     box_capacity: int | None = None
+    #: micro-op pipeline (host-side throughput; no simulated-semantics
+    #: effect).  None = inherit the CPU's setting (the ``FPVM_UOPS``
+    #: environment knob); True/False force it for this run.
+    uops: bool | None = None
+    #: promote a trace into a compiled-trace closure once it has been
+    #: emulated this many times (0 disables the compiled tier).
+    trace_compile_threshold: int = 8
 
     # ------------------------------------------------- §6 preset configs
     @classmethod
@@ -108,6 +116,10 @@ class FPVM:
         self._thread_handles = []
         self.process = None
         self.attached = False
+        self.uops_enabled = (
+            self.config.uops if self.config.uops is not None
+            else uops_enabled_default()
+        )
 
     # ------------------------------------------------------------ attach
     def attach(self, cpu, kernel) -> "FPVM":
@@ -135,6 +147,12 @@ class FPVM:
         # Configure the thread's mxcsr to trap (§2.3).
         cpu.regs.mxcsr = MXCSR_FPVM
         cpu.fp_disabled = self.config.trap_all_fp
+
+        # Micro-op pipeline: the config can force it either way; by
+        # default the CPU's own setting (FPVM_UOPS knob) stands.
+        if self.config.uops is not None:
+            cpu.uops_enabled = self.config.uops
+        self.uops_enabled = cpu.uops_enabled
 
         # Foreign function wrapping (§5.3).
         if self.config.wrap_foreign:

@@ -4,6 +4,7 @@ and ASCII report rendering for every table/figure in the paper's §6."""
 from repro.harness.runner import (
     Comparison,
     FPVMResult,
+    HostPerf,
     NativeResult,
     run_comparison,
     run_fpvm,
@@ -16,6 +17,7 @@ from repro.harness import report
 __all__ = [
     "Comparison",
     "FPVMResult",
+    "HostPerf",
     "NativeResult",
     "run_comparison",
     "run_fpvm",

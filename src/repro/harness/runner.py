@@ -8,6 +8,7 @@ the same workload").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.profiler import profile_patch_sites
@@ -18,11 +19,34 @@ from repro.workloads import build_program
 
 
 @dataclass
+class HostPerf:
+    """Host-throughput layer: how fast the *simulator itself* ran.
+
+    Orthogonal to the simulated-cycle model — two runs with identical
+    ``cycles`` can differ wildly here depending on the execution tier
+    (micro-op pipeline vs. single-step interpretation)."""
+
+    seconds: float = 0.0
+    instructions: int = 0
+    #: micro-op engine counters (UopStats.as_dict()), if the pipeline ran.
+    uop_stats: dict | None = None
+    #: compiled-trace tier counters, if an FPVM was attached.
+    compiled_traces: int = 0
+    compiled_trace_hits: int = 0
+
+    @property
+    def ips(self) -> float:
+        """Host wall-clock guest-instructions per second."""
+        return self.instructions / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
 class NativeResult:
     workload: str
     cycles: int
     instructions: int
     output: list[str]
+    host: HostPerf | None = None
 
 
 @dataclass
@@ -39,6 +63,7 @@ class FPVMResult:
     trace_stats: object  # TraceStatistics or None
     telemetry: object
     program: object
+    host: HostPerf | None = None
 
     @property
     def altmath_cycles(self) -> int:
@@ -70,11 +95,25 @@ class Comparison:
         return self.runs[config_name].cycles / self.lower_bound_cycles(config_name)
 
 
-def run_native(workload: str, scale: int | None = None, **kw) -> NativeResult:
-    cpu = CPU(build_program(workload, scale, **kw))
+def run_native(
+    workload: str,
+    scale: int | None = None,
+    uops: bool | None = None,
+    **kw,
+) -> NativeResult:
+    cpu = CPU(build_program(workload, scale, **kw), uops=uops)
     cpu.kernel = LinuxKernel()
+    t0 = time.perf_counter()
     cpu.run()
-    return NativeResult(workload, cpu.cycles, cpu.instruction_count, list(cpu.output))
+    seconds = time.perf_counter() - t0
+    stats = cpu.uop_stats
+    host = HostPerf(
+        seconds=seconds,
+        instructions=cpu.instruction_count,
+        uop_stats=stats.as_dict() if stats is not None else None,
+    )
+    return NativeResult(workload, cpu.cycles, cpu.instruction_count,
+                        list(cpu.output), host=host)
 
 
 def run_fpvm(
@@ -92,8 +131,18 @@ def run_fpvm(
     kernel = LinuxKernel()
     cpu.kernel = kernel
     vm = FPVM(config).attach(cpu, kernel)
+    t0 = time.perf_counter()
     cpu.run()
+    seconds = time.perf_counter() - t0
     t = vm.telemetry
+    stats = cpu.uop_stats
+    host = HostPerf(
+        seconds=seconds,
+        instructions=cpu.instruction_count,
+        uop_stats=stats.as_dict() if stats is not None else None,
+        compiled_traces=t.compiled_traces,
+        compiled_trace_hits=t.compiled_trace_hits,
+    )
     return FPVMResult(
         workload=workload,
         config_name=config_name or _config_label(config),
@@ -107,6 +156,7 @@ def run_fpvm(
         trace_stats=vm.trace_stats,
         telemetry=t,
         program=program,
+        host=host,
     )
 
 

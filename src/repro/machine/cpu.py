@@ -34,6 +34,7 @@ from repro.machine.isa import (
 from repro.machine.memory import PROT_EXEC, PROT_READ, PROT_WRITE, Memory, PAGE_SIZE
 from repro.machine.program import PatchKind, Program, STACK_TOP
 from repro.machine.registers import Flags, RegisterFile, rounding_mode, unmasked_status
+from repro.machine.uops import uops_enabled_default
 
 U64 = 0xFFFF_FFFF_FFFF_FFFF
 #: Return address sentinel: a ``ret`` to this address halts the machine.
@@ -70,6 +71,7 @@ class CPU:
         program: Program,
         costs: CostModel = DEFAULT_COSTS,
         max_instructions: int = 100_000_000,
+        uops: bool | None = None,
     ):
         self.program = program
         self.costs = costs
@@ -104,12 +106,15 @@ class CPU:
         #: model of "disabling the floating point hardware altogether"
         #: (§2.3): every FP-arith instruction faults unconditionally.
         self.fp_disabled = False
-        #: model of "disabling the floating point hardware altogether"
-        #: (§2.3): every FP-arith instruction faults unconditionally.
-        self.fp_disabled = False
         #: one-shot patch suppression so a handler can single-step the
         #: patched instruction after demoting (paper §2.6).
         self._suppress_patch_at: int | None = None
+        #: run() through the pre-decoded micro-op pipeline (uops.py)
+        #: instead of the single-step interpreter loop.  Defaults to the
+        #: FPVM_UOPS environment knob; semantics are identical either
+        #: way — the engine falls back to step() wherever it must.
+        self.uops_enabled = uops_enabled_default() if uops is None else uops
+        self._uop_engine = None
         self._load_image()
         self._dispatch = self._build_dispatch()
 
@@ -138,26 +143,54 @@ class CPU:
 
     # ------------------------------------------------------------- running
     def run(self, max_steps: int | None = None) -> None:
-        steps = 0
         limit = max_steps if max_steps is not None else self.max_instructions
+        if self.uops_enabled:
+            if self._uop_engine is None:
+                from repro.machine.uops import UopEngine
+
+                self._uop_engine = UopEngine(self)
+            self._uop_engine.run(limit)
+            return
+        steps = 0
         while not self.halted:
             self.step()
             steps += 1
             if steps >= limit:
                 raise MachineError(f"run exceeded {limit} steps (runaway?)")
 
+    @property
+    def uop_stats(self):
+        """Host-side micro-op engine counters (None when the pipeline
+        has not run on this CPU)."""
+        return self._uop_engine.stats if self._uop_engine is not None else None
+
     def step(self) -> None:
+        """One instruction through the explicit pipeline stages:
+        fetch (patch pre-hooks + decode), dispatch, execute, retire."""
         if self.halted:
             return
+        instr = self._fetch_stage()
+        if instr is None:
+            return  # int3 pre-hook delivered a #BP; nothing fetched
+        handler = self._dispatch[instr.mnemonic]   # dispatch stage
+        if handler(instr) is not False:            # execute stage
+            self._retire(instr)
+
+    def _fetch_stage(self) -> Instruction | None:
+        """Run patch pre-hooks at RIP and decode the instruction there.
+
+        Returns None when an ``int3`` pre-hook fired (the #BP trap was
+        delivered; the instruction does not execute this step).  Magic
+        pre-hooks run their trampoline in user space and fall through —
+        the patched instruction executes natively in this same step.
+        """
         rip = self.regs.rip
         patch = self.program.patches.get(rip)
         if patch is not None and self._suppress_patch_at != rip:
             if patch.kind is PatchKind.INT3:
                 self.bp_trap_count += 1
                 self._deliver(Trap(TrapKind.BP, rip, self.program.by_addr.get(rip)))
-                return
-            # Magic trap: user-space call to the trampoline, then the
-            # instruction executes natively in this same step.
+                return None
             self.cycles += self.costs.magic_call + self.costs.magic_save_restore
             patch.trampoline(self, rip)
         if self._suppress_patch_at == rip:
@@ -166,13 +199,13 @@ class CPU:
         instr = self.program.by_addr.get(rip)
         if instr is None:
             raise MachineError(f"execution fell into unmapped code at {rip:#x}")
-        handler = self._dispatch[instr.mnemonic]
-        if handler(instr) is not False:
-            # Retired.
-            self.cycles += instr.info.cost
-            self.work_cycles += instr.info.cost
-            self.instruction_count += 1
-            self.retired_by_class[instr.opclass] += 1
+        return instr
+
+    def _retire(self, instr: Instruction) -> None:
+        self.cycles += instr.info.cost
+        self.work_cycles += instr.info.cost
+        self.instruction_count += 1
+        self.retired_by_class[instr.opclass] += 1
 
     def _deliver(self, trap: Trap) -> None:
         if self.kernel is None:

@@ -82,6 +82,11 @@ class Program:
         self.host_functions: dict[int, HostFunction] = {}
         self._next_host_addr = HOST_FUNC_BASE
         self.patches: dict[int, Patch] = {}
+        #: bumped on every patch-state change; superblock and
+        #: compiled-trace caches key on it so a patch added anywhere
+        #: invalidates every cached block wholesale (stale blocks would
+        #: otherwise execute through a patch site without its pre-hook).
+        self.patch_epoch: int = 0
         #: source line info for diagnostics: addr -> line number.
         self.lines: dict[int, int] = {}
 
@@ -143,14 +148,23 @@ class Program:
         """Insert an ``int3``-style breakpoint in front of ``addr``."""
         self.instruction_at(addr)  # validate
         self.patches[addr] = Patch(PatchKind.INT3)
+        self.patch_epoch += 1
 
     def patch_call(self, addr: int, trampoline) -> None:
         """Insert a magic-trap ``call <trampoline>`` in front of ``addr``."""
         self.instruction_at(addr)
         self.patches[addr] = Patch(PatchKind.MAGIC_CALL, trampoline)
+        self.patch_epoch += 1
+
+    def unpatch(self, addr: int) -> None:
+        """Remove the pre-hook at ``addr`` (no-op if none)."""
+        if self.patches.pop(addr, None) is not None:
+            self.patch_epoch += 1
 
     def clear_patches(self) -> None:
-        self.patches.clear()
+        if self.patches:
+            self.patches.clear()
+            self.patch_epoch += 1
 
     def rebind_symbol(self, name: str, new_addr: int) -> None:
         """Point an existing symbol somewhere else (the Lief move)."""
@@ -199,5 +213,6 @@ class Program:
         clone.host_functions = dict(self.host_functions)
         clone._next_host_addr = self._next_host_addr
         clone.patches = {a: _copy.copy(p) for a, p in self.patches.items()}
+        clone.patch_epoch = self.patch_epoch
         clone.lines = self.lines
         return clone

@@ -1,0 +1,1420 @@
+"""Pre-decoded micro-op IR, superblocks, and the block execution engine.
+
+The seed interpreter re-resolves operands and re-dispatches through
+instance methods on every simulated step.  This module lowers each
+:class:`~repro.machine.isa.Instruction` once into a :class:`MicroOp`
+(static metadata shared by every consumer: CPU, decode cache, emulator,
+sequence engine) and binds, per CPU, opclass-specialized execute
+closures whose operand accessors were resolved at bind time.  Straight-
+line runs of micro-ops are strung into cached :class:`Superblock`\\ s
+keyed by entry address; the block cache is invalidated wholesale when
+the program's ``patch_epoch`` changes (any patch added, removed or
+cleared), so patched instructions can never execute through a stale
+block.
+
+Semantics are bit-for-bit the seed interpreter's:
+
+- fast FP closures run only under the exact conditions of the seed's
+  native path (all six MXCSR exception masks set, round-to-nearest,
+  FP hardware enabled); anything else returns the :data:`SLOW`
+  sentinel *without side effects* and the engine falls back to
+  ``cpu.step()``, which performs the full fault-style #XF protocol;
+- block execution retires micro-ops with batched accounting that is
+  flushed (``try/finally``) before any fallback, trap delivery, or
+  exception propagation, so every observer of ``cycles`` /
+  ``instruction_count`` sees the same values it would under
+  single-stepping;
+- the fast scalar FP helpers are bit-exact against
+  :func:`repro.machine.hostfp.native_fp` (NaN-operand and
+  divide-by-zero cases defer to it outright).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+from collections import Counter
+
+from repro.fpu import bits as B
+from repro.machine import hostfp
+from repro.machine.isa import (
+    CONDITION_CODES,
+    GPR_IDS,
+    Imm,
+    Instruction,
+    Label,
+    Mem,
+    OpClass,
+    OPCODES,
+    Reg,
+    Xmm,
+)
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE, PROT_READ, PROT_WRITE
+
+U64 = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Returned by an execute closure that could not take the fast path.
+#: The contract: a SLOW return performed *no* side effects — the engine
+#: flushes the retired prefix and re-executes the instruction through
+#: ``cpu.step()`` (full seed semantics, including #XF delivery).
+SLOW = object()
+
+#: Superblocks stop growing here; the follow-on block chains naturally.
+MAX_BLOCK = 128
+
+#: The seed's native-FP fast path requires every MXCSR exception mask
+#: set (bits 7-12), no unmasked status possible, and RC == nearest
+#: (bits 13-14 clear).  One masked compare checks all of it.
+_FP_FAST_FIELD = 0x7F80
+_FP_FAST_VALUE = 0x1F80
+
+_RETURN_SENTINEL = 0xDEAD_0000
+
+_PARITY = tuple(bin(i).count("1") % 2 == 0 for i in range(256))
+
+# ------------------------------------------------------------------ config
+_FALSEY = ("0", "false", "off", "no")
+
+
+def uops_enabled_default() -> bool:
+    """The ``FPVM_UOPS`` escape hatch: set to ``0`` to force the seed
+    single-step interpreter everywhere (differential debugging)."""
+    return os.environ.get("FPVM_UOPS", "1").strip().lower() not in _FALSEY
+
+
+# ------------------------------------------------------- emulator metadata
+#: cmpXXsd mnemonic -> predicate (shared with the emulator).
+CMP_PREDS = {
+    "cmpeqsd": "eq", "cmpltsd": "lt", "cmplesd": "le", "cmpneqsd": "neq",
+    "cmpnltsd": "nlt", "cmpnlesd": "nle", "cmpordsd": "ord",
+    "cmpunordsd": "unord",
+}
+
+#: predicate -> (result_if_unordered, fn(c) for ordered c in {-1,0,1}).
+CMP_TABLES = {
+    "eq": (False, lambda c: c == 0),
+    "lt": (False, lambda c: c < 0),
+    "le": (False, lambda c: c <= 0),
+    "neq": (True, lambda c: c != 0),
+    "nlt": (True, lambda c: not (c < 0)),
+    "nle": (True, lambda c: not (c <= 0)),
+    "ord": (False, lambda c: True),
+    "unord": (True, lambda c: False),
+}
+
+
+def _emu_kind(mn: str, opclass: OpClass) -> tuple[str | None, object]:
+    """Pre-resolve the emulator's dispatch decision for one mnemonic."""
+    if opclass in (OpClass.FP_ARITH, OpClass.FP_CVT):
+        if mn == "cvtsi2sd":
+            return "cvtsi2sd", None
+        if mn in ("cvttsd2si", "cvtsd2si"):
+            return "cvt2si", mn == "cvttsd2si"
+        if mn in ("ucomisd", "comisd"):
+            return "ucomi", None
+        if mn in CMP_PREDS:
+            return "cmp", CMP_PREDS[mn]
+        if mn == "vfmadd213sd":
+            return "fma", None
+        if mn in ("sqrtsd", "sqrtpd"):
+            return "sqrt", 2 if mn == "sqrtpd" else 1
+        return "bin", None
+    if mn == "xorpd":
+        return "xorpd", None
+    if opclass is OpClass.FP_MOV:
+        return "fpmov", None
+    if opclass in (OpClass.INT_MOV, OpClass.INT_ALU):
+        return "intmov", None
+    return None, None
+
+
+# ----------------------------------------------------------------- MicroOp
+class MicroOp:
+    """One lowered instruction: all static metadata pre-resolved.
+
+    A MicroOp is CPU-independent (shared across ``Program.copy()``
+    images); per-CPU execute closures are bound by the engine via
+    :func:`bind_exec` / :func:`bind_control`.
+    """
+
+    __slots__ = (
+        "instr", "addr", "size", "end", "mnemonic", "opclass", "cost",
+        "lanes", "ieee", "fp_trap_capable", "emu_kind", "emu_arg",
+    )
+
+    def __init__(self, instr: Instruction) -> None:
+        info = OPCODES[instr.mnemonic]
+        self.instr = instr
+        self.addr = instr.addr
+        self.size = instr.size
+        self.end = instr.addr + instr.size
+        self.mnemonic = instr.mnemonic
+        self.opclass = info.opclass
+        self.cost = info.cost
+        self.lanes = info.lanes
+        self.ieee = info.ieee
+        self.fp_trap_capable = info.opclass in (OpClass.FP_ARITH, OpClass.FP_CVT)
+        self.emu_kind, self.emu_arg = _emu_kind(instr.mnemonic, info.opclass)
+
+    @property
+    def info(self):
+        return self.instr.info
+
+    @property
+    def operands(self):
+        return self.instr.operands
+
+    def is_fp_trap_capable(self) -> bool:
+        return self.fp_trap_capable
+
+    def __str__(self) -> str:
+        return str(self.instr)
+
+    def __repr__(self) -> str:
+        return f"<uop {self.instr} @ {self.addr:#x}>"
+
+
+def lower(instr: Instruction) -> MicroOp:
+    """Lower ``instr``, caching the result on the instruction itself so
+    every consumer (CPU engine, decode cache, sequence engine) shares
+    one MicroOp per instruction."""
+    uop = getattr(instr, "_uop", None)
+    if uop is None:
+        uop = MicroOp(instr)
+        instr._uop = uop
+    return uop
+
+
+def lower_program(program) -> int:
+    """Lower every instruction of a program eagerly (load-time pass);
+    returns the number of micro-ops."""
+    n = 0
+    for instr in program.instructions:
+        lower(instr)
+        n += 1
+    return n
+
+
+# ----------------------------------------------------- fast scalar FP core
+_PACK_Q = struct.Struct("<Q").pack
+_UNPACK_D = struct.Struct("<d").unpack
+_PACK_D = struct.Struct("<d").pack
+_UNPACK_Q = struct.Struct("<Q").unpack
+_SQRT = math.sqrt
+_NATIVE = hostfp.native_fp
+_QUIET = B.quiet
+
+
+def _tf(bits: int) -> float:
+    return _UNPACK_D(_PACK_Q(bits))[0]
+
+
+def _tb(value: float) -> int:
+    return _UNPACK_Q(_PACK_D(value))[0]
+
+
+def _fadd(a: int, b: int) -> int:
+    fa = _UNPACK_D(_PACK_Q(a))[0]
+    fb = _UNPACK_D(_PACK_Q(b))[0]
+    if fa != fa or fb != fb:  # NaN payload flow: defer to the oracle
+        return _NATIVE("add", a, b)
+    return _UNPACK_Q(_PACK_D(fa + fb))[0]
+
+
+def _fsub(a: int, b: int) -> int:
+    fa = _UNPACK_D(_PACK_Q(a))[0]
+    fb = _UNPACK_D(_PACK_Q(b))[0]
+    if fa != fa or fb != fb:
+        return _NATIVE("sub", a, b)
+    return _UNPACK_Q(_PACK_D(fa - fb))[0]
+
+
+def _fmul(a: int, b: int) -> int:
+    fa = _UNPACK_D(_PACK_Q(a))[0]
+    fb = _UNPACK_D(_PACK_Q(b))[0]
+    if fa != fa or fb != fb:
+        return _NATIVE("mul", a, b)
+    return _UNPACK_Q(_PACK_D(fa * fb))[0]
+
+
+def _fdiv(a: int, b: int) -> int:
+    fa = _UNPACK_D(_PACK_Q(a))[0]
+    fb = _UNPACK_D(_PACK_Q(b))[0]
+    if fa != fa or fb != fb or fb == 0.0:
+        return _NATIVE("div", a, b)
+    return _UNPACK_Q(_PACK_D(fa / fb))[0]
+
+
+def _fmin(a: int, b: int) -> int:
+    # SSE minsd: src2 on NaN or equality (seed-identical).
+    fa = _UNPACK_D(_PACK_Q(a))[0]
+    fb = _UNPACK_D(_PACK_Q(b))[0]
+    if fa != fa or fb != fb or fa == fb:
+        return b
+    return a if fa < fb else b
+
+
+def _fmax(a: int, b: int) -> int:
+    fa = _UNPACK_D(_PACK_Q(a))[0]
+    fb = _UNPACK_D(_PACK_Q(b))[0]
+    if fa != fa or fb != fb or fa == fb:
+        return b
+    return a if fa > fb else b
+
+
+def _fsqrt(a: int, _b: int | None = None) -> int:
+    fa = _UNPACK_D(_PACK_Q(a))[0]
+    if fa != fa:
+        return _QUIET(a)
+    if fa >= 0.0:  # includes -0.0 (sqrt(-0.0) == -0.0)
+        return _UNPACK_Q(_PACK_D(_SQRT(fa)))[0]
+    return _NATIVE("sqrt", a)
+
+
+#: ieee base -> bit-exact scalar fast function (binary ops; sqrt unary).
+FAST_SCALAR = {
+    "add": _fadd, "sub": _fsub, "mul": _fmul, "div": _fdiv,
+    "min": _fmin, "max": _fmax, "sqrt": _fsqrt,
+}
+
+#: cmpXXsd predicate as a direct float comparison with IEEE unordered
+#: behaviour built in (NaN compares false to everything).
+_CMP_FAST = {
+    "eq": lambda fa, fb: fa == fb,
+    "lt": lambda fa, fb: fa < fb,
+    "le": lambda fa, fb: fa <= fb,
+    "unord": lambda fa, fb: fa != fa or fb != fb,
+    "neq": lambda fa, fb: not (fa == fb),
+    "nlt": lambda fa, fb: not (fa < fb),
+    "nle": lambda fa, fb: not (fa <= fb),
+    "ord": lambda fa, fb: fa == fa and fb == fb,
+}
+
+
+# ---------------------------------------------------- fast memory closures
+# Inlined single-page 8-byte access for bound closures.  Anything off
+# the happy path (attached observers, unmapped page — auto-map and
+# faults included — page-straddling access, permission violations)
+# falls back to the Memory methods, so semantics are exactly theirs.
+_PAGE_SIZE = PAGE_SIZE
+_PAGE_SHIFT = PAGE_SHIFT
+_PAGE_MASK = PAGE_SIZE - 1
+_FROM_LE = int.from_bytes
+
+
+def _load8_factory(mem, fp: bool):
+    """Fast ``observed_load(ea, 8, fp)``."""
+    pages = mem._pages
+
+    def load8(addr):
+        if mem.observers:
+            return mem.observed_load(addr, 8, fp)
+        page = pages.get(addr >> _PAGE_SHIFT)
+        off = addr & _PAGE_MASK
+        if page is None or off > _PAGE_SIZE - 8 or not (page.prot & PROT_READ):
+            return mem.observed_load(addr, 8, fp)
+        return _FROM_LE(page.data[off:off + 8], "little")
+    return load8
+
+
+def _store8_factory(mem, fp: bool):
+    """Fast ``observed_store(ea, v, 8, fp)``."""
+    pages = mem._pages
+
+    def store8(addr, value):
+        if mem.observers:
+            return mem.observed_store(addr, value, 8, fp)
+        page = pages.get(addr >> _PAGE_SHIFT)
+        off = addr & _PAGE_MASK
+        if page is None or off > _PAGE_SIZE - 8 or not (page.prot & PROT_WRITE):
+            return mem.observed_store(addr, value, 8, fp)
+        page.data[off:off + 8] = _PACK_Q(value & U64)
+    return store8
+
+
+def _raw_load8_factory(mem):
+    """Fast ``read_u64`` (stack pops / returns — never observed)."""
+    pages = mem._pages
+
+    def load8(addr):
+        page = pages.get(addr >> _PAGE_SHIFT)
+        off = addr & _PAGE_MASK
+        if page is None or off > _PAGE_SIZE - 8 or not (page.prot & PROT_READ):
+            return mem.read_u64(addr)
+        return _FROM_LE(page.data[off:off + 8], "little")
+    return load8
+
+
+def _raw_store8_factory(mem):
+    """Fast ``write_u64`` (stack pushes — never observed)."""
+    pages = mem._pages
+
+    def store8(addr, value):
+        page = pages.get(addr >> _PAGE_SHIFT)
+        off = addr & _PAGE_MASK
+        if page is None or off > _PAGE_SIZE - 8 or not (page.prot & PROT_WRITE):
+            return mem.write_u64(addr, value)
+        page.data[off:off + 8] = _PACK_Q(value & U64)
+    return store8
+
+
+# ------------------------------------------------------- operand accessors
+def _ea_factory(regs, m: Mem):
+    """Zero-arg effective-address closure; register operands are read
+    through ``regs`` at call time (restore() replaces the inner lists)."""
+    disp = m.disp
+    bid = GPR_IDS[m.base] if m.base is not None else None
+    iid = GPR_IDS[m.index] if m.index is not None else None
+    scale = m.scale
+    if bid is None and iid is None:
+        ea = disp & U64
+        return lambda: ea
+    if iid is None:
+        return lambda: (regs.gpr[bid] + disp) & U64
+    if bid is None:
+        return lambda: (regs.gpr[iid] * scale + disp) & U64
+    return lambda: (regs.gpr[bid] + regs.gpr[iid] * scale + disp) & U64
+
+
+def _reader_u64(cpu, op, fp: bool):
+    """Seed ``read_u64_operand`` semantics: Mem is always an 8-byte
+    observed load regardless of the operand's declared size."""
+    regs = cpu.regs
+    if isinstance(op, Reg):
+        rid = op.id
+        return lambda: regs.gpr[rid]
+    if isinstance(op, Xmm):
+        xid = op.id
+        return lambda: regs.xmm[xid][0]
+    if isinstance(op, Imm):
+        v = op.value & U64
+        return lambda: v
+    if isinstance(op, Mem):
+        ea = _ea_factory(regs, op)
+        load8 = _load8_factory(cpu.mem, fp)
+        return lambda: load8(ea())
+    return None
+
+
+def _reader_sized(cpu, op, fp: bool):
+    """Seed ``read_sized_operand``: Mem honours its declared size."""
+    if isinstance(op, Mem) and op.size != 8:
+        ea = _ea_factory(cpu.regs, op)
+        mem = cpu.mem
+        size = op.size
+        return lambda: mem.observed_load(ea(), size, fp)
+    return _reader_u64(cpu, op, fp)
+
+
+def _writer_u64(cpu, op, fp: bool):
+    """Seed ``write_u64_operand``: Mem stores honour the operand size."""
+    regs = cpu.regs
+    if isinstance(op, Reg):
+        rid = op.id
+
+        def wr(v):
+            regs.gpr[rid] = v & U64
+        return wr
+    if isinstance(op, Xmm):
+        xid = op.id
+
+        def wx(v):
+            regs.xmm[xid][0] = v & U64
+        return wx
+    if isinstance(op, Mem):
+        ea = _ea_factory(regs, op)
+        if op.size == 8:
+            store8 = _store8_factory(cpu.mem, fp)
+            return lambda v: store8(ea(), v)
+        mem = cpu.mem
+        size = op.size
+        return lambda v: mem.observed_store(ea(), v, size, fp)
+    return None
+
+
+def _reader_128(cpu, op):
+    """Seed ``read_xmm_or_mem128``."""
+    regs = cpu.regs
+    if isinstance(op, Xmm):
+        xid = op.id
+
+        def rx():
+            lanes = regs.xmm[xid]
+            return lanes[0], lanes[1]
+        return rx
+    if isinstance(op, Mem):
+        ea = _ea_factory(regs, op)
+        load8 = _load8_factory(cpu.mem, True)
+
+        def rm():
+            a = ea()
+            return load8(a), load8(a + 8)
+        return rm
+    return None
+
+
+# -------------------------------------------------------- closure binding
+def bind_exec(uop: MicroOp, cpu):
+    """Bind a body-execute closure for this CPU, or None if the micro-op
+    cannot run inside a superblock body (control/sys/odd shapes).
+
+    Closure contract: executes the instruction exactly like the seed
+    handler (same reads, same write order, RIP set at the end) and
+    returns None on retire; FP-trappable closures return :data:`SLOW`
+    (no side effects) whenever the seed would leave its native path.
+    Retire accounting (cost/count/class) is the engine's job.
+    """
+    cls = uop.opclass
+    try:
+        if cls in (OpClass.FP_ARITH, OpClass.FP_CVT):
+            return _bind_fp(uop, cpu)
+        if cls is OpClass.FP_BITWISE:
+            return _bind_fp_bitwise(uop, cpu)
+        if cls is OpClass.FP_MOV:
+            return _bind_fp_mov(uop, cpu)
+        if cls is OpClass.INT_MOV:
+            return _bind_int_mov(uop, cpu)
+        if cls is OpClass.INT_ALU:
+            return _bind_int_alu(uop, cpu)
+    except (KeyError, AttributeError, TypeError):
+        return None  # malformed operands: let cpu.step() raise its way
+    return None
+
+
+def _bind_fp(uop: MicroOp, cpu):
+    regs = cpu.regs
+    mn = uop.mnemonic
+    ops = uop.instr.operands
+    end = uop.end
+
+    if mn == "cvtsi2sd":
+        rd = _reader_u64(cpu, ops[1], False)
+        xid = ops[0].id
+        if rd is None or not isinstance(ops[0], Xmm):
+            return None
+
+        def run_cvtsi2sd():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            a = rd()
+            v = a - (1 << 64) if a & (1 << 63) else a
+            regs.xmm[xid][0] = _UNPACK_Q(_PACK_D(float(v)))[0]
+            regs.rip = end
+        return run_cvtsi2sd
+
+    if mn in ("cvttsd2si", "cvtsd2si"):
+        rd = _reader_u64(cpu, ops[1], True)
+        wr = _writer_u64(cpu, ops[0], False)
+        trunc = mn == "cvttsd2si"
+        if rd is None or wr is None:
+            return None
+
+        def run_cvt2si():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            fa = _UNPACK_D(_PACK_Q(rd()))[0]
+            if fa != fa or not (-(2.0 ** 63) <= fa < 2.0 ** 63):
+                out = 0x8000_0000_0000_0000
+            elif trunc:
+                out = int(fa) & U64
+            else:
+                out = round(fa) & U64  # banker's rounding == hardware RNE
+            wr(out)
+            regs.rip = end
+        return run_cvt2si
+
+    if mn in ("ucomisd", "comisd"):
+        if not isinstance(ops[0], Xmm):
+            return None
+        xid = ops[0].id
+        rd_b = _reader_u64(cpu, ops[1], True)
+        if rd_b is None:
+            return None
+
+        def run_ucomi():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            fa = _UNPACK_D(_PACK_Q(regs.xmm[xid][0]))[0]
+            fb = _UNPACK_D(_PACK_Q(rd_b()))[0]
+            f = regs.flags
+            if fa != fa or fb != fb:
+                f.zf = f.pf = f.cf = True
+            elif fa == fb:
+                f.zf, f.pf, f.cf = True, False, False
+            elif fa < fb:
+                f.zf, f.pf, f.cf = False, False, True
+            else:
+                f.zf = f.pf = f.cf = False
+            f.sf = False
+            f.of = False
+            regs.rip = end
+        return run_ucomi
+
+    if mn in CMP_PREDS:
+        if not isinstance(ops[0], Xmm):
+            return None
+        xid = ops[0].id
+        rd_b = _reader_u64(cpu, ops[1], True)
+        pred = _CMP_FAST[CMP_PREDS[mn]]
+        if rd_b is None:
+            return None
+
+        def run_cmp():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            lanes = regs.xmm[xid]
+            fa = _UNPACK_D(_PACK_Q(lanes[0]))[0]
+            fb = _UNPACK_D(_PACK_Q(rd_b()))[0]
+            lanes[0] = U64 if pred(fa, fb) else 0
+            regs.rip = end
+        return run_cmp
+
+    if mn == "vfmadd213sd":
+        if not (isinstance(ops[0], Xmm) and isinstance(ops[1], Xmm)):
+            return None
+        d_id, m_id = ops[0].id, ops[1].id
+        rd_c = _reader_u64(cpu, ops[2], True)
+        if rd_c is None:
+            return None
+
+        def run_fma():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            lanes = regs.xmm[d_id]
+            lanes[0] = _NATIVE("fma", regs.xmm[m_id][0], lanes[0], rd_c())
+            regs.rip = end
+        return run_fma
+
+    if mn == "sqrtsd":
+        if not isinstance(ops[0], Xmm):
+            return None
+        xid = ops[0].id
+        rd = _reader_u64(cpu, ops[1], True)
+        if rd is None:
+            return None
+
+        def run_sqrtsd():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            regs.xmm[xid][0] = _fsqrt(rd())
+            regs.rip = end
+        return run_sqrtsd
+
+    if mn == "sqrtpd":
+        if not isinstance(ops[0], Xmm):
+            return None
+        xid = ops[0].id
+        rd = _reader_128(cpu, ops[1])
+        if rd is None:
+            return None
+
+        def run_sqrtpd():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            slo, shi = rd()
+            lanes = regs.xmm[xid]
+            lanes[0] = _fsqrt(slo)
+            lanes[1] = _fsqrt(shi)
+            regs.rip = end
+        return run_sqrtpd
+
+    # Binary arithmetic families.
+    fast = FAST_SCALAR.get(uop.ieee)
+    if fast is None or not isinstance(ops[0], Xmm):
+        return None
+    xid = ops[0].id
+    if uop.lanes == 2:
+        rd = _reader_128(cpu, ops[1])
+        if rd is None:
+            return None
+
+        def run_packed():
+            if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+                return SLOW
+            slo, shi = rd()
+            lanes = regs.xmm[xid]
+            lanes[0] = fast(lanes[0], slo)
+            lanes[1] = fast(lanes[1], shi)
+            regs.rip = end
+        return run_packed
+
+    rd = _reader_u64(cpu, ops[1], True)
+    if rd is None:
+        return None
+
+    def run_scalar():
+        if cpu.fp_disabled or (regs.mxcsr & _FP_FAST_FIELD) != _FP_FAST_VALUE:
+            return SLOW
+        lanes = regs.xmm[xid]
+        lanes[0] = fast(lanes[0], rd())
+        regs.rip = end
+    return run_scalar
+
+
+def _bind_fp_bitwise(uop: MicroOp, cpu):
+    regs = cpu.regs
+    mn = uop.mnemonic
+    ops = uop.instr.operands
+    end = uop.end
+    if not isinstance(ops[0], Xmm):
+        return None
+    xid = ops[0].id
+    rd = _reader_128(cpu, ops[1])
+    if rd is None:
+        return None
+
+    if mn == "xorpd":
+        def run_xorpd():
+            slo, shi = rd()
+            lanes = regs.xmm[xid]
+            lanes[0] ^= slo
+            lanes[1] ^= shi
+            regs.rip = end
+        return run_xorpd
+    if mn == "andpd":
+        def run_andpd():
+            slo, shi = rd()
+            lanes = regs.xmm[xid]
+            lanes[0] &= slo
+            lanes[1] &= shi
+            regs.rip = end
+        return run_andpd
+    if mn == "orpd":
+        def run_orpd():
+            slo, shi = rd()
+            lanes = regs.xmm[xid]
+            lanes[0] |= slo
+            lanes[1] |= shi
+            regs.rip = end
+        return run_orpd
+
+    def run_andnpd():
+        slo, shi = rd()
+        lanes = regs.xmm[xid]
+        lanes[0] = (~lanes[0] & U64) & slo
+        lanes[1] = (~lanes[1] & U64) & shi
+        regs.rip = end
+    return run_andnpd
+
+
+def _bind_fp_mov(uop: MicroOp, cpu):
+    regs = cpu.regs
+    mem = cpu.mem
+    mn = uop.mnemonic
+    ops = uop.instr.operands
+    end = uop.end
+
+    if mn == "shufpd":
+        dst, src, imm = ops
+        if not isinstance(dst, Xmm) or not isinstance(imm, Imm):
+            return None
+        did = dst.id
+        rd = _reader_128(cpu, src)
+        ctrl = imm.value
+        if rd is None:
+            return None
+
+        def run_shufpd():
+            lanes = regs.xmm[did]
+            dlo, dhi = lanes[0], lanes[1]
+            slo, shi = rd()
+            lanes[0] = dhi if ctrl & 1 else dlo
+            lanes[1] = shi if ctrl & 2 else slo
+            regs.rip = end
+        return run_shufpd
+
+    dst, src = ops
+    if mn == "movsd":
+        if isinstance(dst, Xmm) and isinstance(src, Xmm):
+            did, sid = dst.id, src.id
+
+            def run_movsd_rr():
+                regs.xmm[did][0] = regs.xmm[sid][0]
+                regs.rip = end
+            return run_movsd_rr
+        if isinstance(dst, Xmm):
+            did = dst.id
+            rd = _reader_u64(cpu, src, True)
+            if rd is None:
+                return None
+
+            def run_movsd_load():
+                lanes = regs.xmm[did]
+                lanes[0] = rd()
+                lanes[1] = 0
+                regs.rip = end
+            return run_movsd_load
+        if isinstance(src, Xmm):
+            sid = src.id
+            wr = _writer_u64(cpu, dst, True)
+            if wr is None:
+                return None
+
+            def run_movsd_store():
+                wr(regs.xmm[sid][0])
+                regs.rip = end
+            return run_movsd_store
+        return None
+
+    if mn in ("movapd", "movupd"):
+        if isinstance(dst, Xmm):
+            did = dst.id
+            rd = _reader_128(cpu, src)
+            if rd is None:
+                return None
+
+            def run_movapd_load():
+                lo, hi = rd()
+                lanes = regs.xmm[did]
+                lanes[0] = lo
+                lanes[1] = hi
+                regs.rip = end
+            return run_movapd_load
+        if isinstance(src, Xmm) and isinstance(dst, Mem):
+            sid = src.id
+            ea = _ea_factory(regs, dst)
+            store8 = _store8_factory(mem, True)
+
+            def run_movapd_store():
+                lanes = regs.xmm[sid]
+                a = ea()
+                store8(a, lanes[0])
+                store8(a + 8, lanes[1])
+                regs.rip = end
+            return run_movapd_store
+        return None
+
+    if mn in ("movhpd", "movlpd"):
+        lane = 1 if mn == "movhpd" else 0
+        if isinstance(dst, Xmm):
+            did = dst.id
+            rd = _reader_u64(cpu, src, True)
+            if rd is None:
+                return None
+
+            def run_movxpd_load():
+                regs.xmm[did][lane] = rd()
+                regs.rip = end
+            return run_movxpd_load
+        if isinstance(src, Xmm):
+            sid = src.id
+            wr = _writer_u64(cpu, dst, True)
+            if wr is None:
+                return None
+
+            def run_movxpd_store():
+                wr(regs.xmm[sid][lane])
+                regs.rip = end
+            return run_movxpd_store
+        return None
+
+    if mn == "movq":
+        if isinstance(dst, Xmm):
+            did = dst.id
+            rd = _reader_u64(cpu, src, isinstance(src, Mem))
+            if rd is None:
+                return None
+
+            def run_movq_load():
+                lanes = regs.xmm[did]
+                lanes[0] = rd()
+                lanes[1] = 0
+                regs.rip = end
+            return run_movq_load
+        if isinstance(src, Xmm):
+            sid = src.id
+            wr = _writer_u64(cpu, dst, isinstance(dst, Mem))
+            if wr is None:
+                return None
+
+            def run_movq_store():
+                wr(regs.xmm[sid][0])
+                regs.rip = end
+            return run_movq_store
+        return None
+
+    if mn == "movddup":
+        if not isinstance(dst, Xmm):
+            return None
+        did = dst.id
+        rd = _reader_u64(cpu, src, True)
+        if rd is None:
+            return None
+
+        def run_movddup():
+            lo = rd()
+            lanes = regs.xmm[did]
+            lanes[0] = lo
+            lanes[1] = lo
+            regs.rip = end
+        return run_movddup
+
+    if mn == "unpcklpd":
+        if not isinstance(dst, Xmm):
+            return None
+        did = dst.id
+        rd = _reader_128(cpu, src)
+        if rd is None:
+            return None
+
+        def run_unpcklpd():
+            slo, _ = rd()
+            regs.xmm[did][1] = slo
+            regs.rip = end
+        return run_unpcklpd
+
+    if mn == "unpckhpd":
+        if not isinstance(dst, Xmm):
+            return None
+        did = dst.id
+        rd = _reader_128(cpu, src)
+        if rd is None:
+            return None
+
+        def run_unpckhpd():
+            _, shi = rd()
+            lanes = regs.xmm[did]
+            lanes[0] = lanes[1]
+            lanes[1] = shi
+            regs.rip = end
+        return run_unpckhpd
+
+    return None
+
+
+def _bind_int_mov(uop: MicroOp, cpu):
+    regs = cpu.regs
+    mem = cpu.mem
+    mn = uop.mnemonic
+    ops = uop.instr.operands
+    end = uop.end
+
+    if mn == "mov":
+        dst, src = ops
+        rd = _reader_sized(cpu, src, False)
+        if rd is None:
+            return None
+        if isinstance(dst, Mem) and dst.size != 8:
+            ea = _ea_factory(regs, dst)
+            size = dst.size
+
+            def run_mov_sized():
+                mem.observed_store(ea(), rd(), size, False)
+                regs.rip = end
+            return run_mov_sized
+        wr = _writer_u64(cpu, dst, False)
+        if wr is None:
+            return None
+
+        def run_mov():
+            wr(rd())
+            regs.rip = end
+        return run_mov
+
+    if mn == "lea":
+        dst, src = ops
+        if not isinstance(dst, Reg) or not isinstance(src, Mem):
+            return None
+        rid = dst.id
+        ea = _ea_factory(regs, src)
+
+        def run_lea():
+            regs.gpr[rid] = ea()
+            regs.rip = end
+        return run_lea
+
+    if mn == "push":
+        rd = _reader_u64(cpu, ops[0], False)
+        if rd is None:
+            return None
+        store8 = _raw_store8_factory(mem)
+
+        def run_push():
+            v = rd()
+            rsp = (regs.gpr[7] - 8) & U64
+            regs.gpr[7] = rsp
+            store8(rsp, v)
+            regs.rip = end
+        return run_push
+
+    if mn == "pop":
+        wr = _writer_u64(cpu, ops[0], False)
+        if wr is None:
+            return None
+        load8 = _raw_load8_factory(mem)
+
+        def run_pop():
+            rsp = regs.gpr[7]
+            v = load8(rsp)
+            regs.gpr[7] = (rsp + 8) & U64
+            wr(v)
+            regs.rip = end
+        return run_pop
+
+    if mn == "xchg":
+        a, b = ops
+        rd_a = _reader_u64(cpu, a, False)
+        rd_b = _reader_u64(cpu, b, False)
+        wr_a = _writer_u64(cpu, a, False)
+        wr_b = _writer_u64(cpu, b, False)
+        if None in (rd_a, rd_b, wr_a, wr_b):
+            return None
+
+        def run_xchg():
+            va = rd_a()
+            vb = rd_b()
+            wr_a(vb)
+            wr_b(va)
+            regs.rip = end
+        return run_xchg
+
+    return None
+
+
+def _s64(v: int) -> int:
+    v &= U64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def _bind_int_alu(uop: MicroOp, cpu):
+    regs = cpu.regs
+    mn = uop.mnemonic
+    ops = uop.instr.operands
+    end = uop.end
+    parity = _PARITY
+
+    rd0 = _reader_u64(cpu, ops[0], False)
+    if rd0 is None:
+        return None
+    writes = mn not in ("cmp", "test")
+    wr0 = _writer_u64(cpu, ops[0], False) if writes else None
+    if writes and wr0 is None:
+        return None
+
+    if mn in ("add", "sub", "cmp"):
+        rd1 = _reader_u64(cpu, ops[1], False)
+        if rd1 is None:
+            return None
+        adding = mn == "add"
+
+        def run_addsub():
+            a = rd0()
+            b = rd1()
+            f = regs.flags
+            if adding:
+                r = (a + b) & U64
+                f.cf = (a + b) > U64
+                f.of = (_s64(a) + _s64(b)) != _s64(r)
+            else:
+                r = (a - b) & U64
+                f.cf = a < b
+                f.of = (_s64(a) - _s64(b)) != _s64(r)
+            f.zf = r == 0
+            f.sf = bool(r >> 63)
+            f.pf = parity[r & 0xFF]
+            if wr0 is not None:
+                wr0(r)
+            regs.rip = end
+        return run_addsub
+
+    if mn in ("and", "or", "xor", "test"):
+        rd1 = _reader_u64(cpu, ops[1], False)
+        if rd1 is None:
+            return None
+        kind = "and" if mn in ("and", "test") else mn
+
+        def run_logic():
+            a = rd0()
+            b = rd1()
+            r = a & b if kind == "and" else (a | b if kind == "or" else a ^ b)
+            f = regs.flags
+            f.cf = f.of = False
+            f.zf = r == 0
+            f.sf = bool(r >> 63)
+            f.pf = parity[r & 0xFF]
+            if wr0 is not None:
+                wr0(r)
+            regs.rip = end
+        return run_logic
+
+    if mn == "imul":
+        rd1 = _reader_u64(cpu, ops[1], False)
+        if rd1 is None:
+            return None
+
+        def run_imul():
+            a = _s64(rd0())
+            b = _s64(rd1())
+            full = a * b
+            r = full & U64
+            f = regs.flags
+            f.cf = f.of = _s64(r) != full
+            f.zf = r == 0
+            f.sf = bool(r >> 63)
+            f.pf = parity[r & 0xFF]
+            wr0(r)
+            regs.rip = end
+        return run_imul
+
+    if mn in ("shl", "shr", "sar"):
+        rd1 = _reader_u64(cpu, ops[1], False)
+        if rd1 is None:
+            return None
+
+        def run_shift():
+            a = rd0()
+            count = rd1() & 63
+            if count:
+                f = regs.flags
+                if mn == "shl":
+                    f.cf = bool((a >> (64 - count)) & 1)
+                    r = (a << count) & U64
+                elif mn == "shr":
+                    f.cf = bool((a >> (count - 1)) & 1)
+                    r = a >> count
+                else:
+                    f.cf = bool((a >> (count - 1)) & 1)
+                    r = (_s64(a) >> count) & U64
+                f.zf = r == 0
+                f.sf = bool(r >> 63)
+                f.pf = parity[r & 0xFF]
+                wr0(r)
+            regs.rip = end
+        return run_shift
+
+    if mn in ("inc", "dec"):
+        delta = 1 if mn == "inc" else -1
+
+        def run_incdec():
+            a = rd0()
+            r = (a + delta) & U64
+            f = regs.flags
+            f.of = _s64(a) + delta != _s64(r)
+            f.zf = r == 0
+            f.sf = bool(r >> 63)
+            f.pf = parity[r & 0xFF]
+            wr0(r)
+            regs.rip = end
+        return run_incdec
+
+    if mn == "neg":
+        def run_neg():
+            a = rd0()
+            r = (-a) & U64
+            f = regs.flags
+            f.cf = a != 0
+            f.of = a == (1 << 63)
+            f.zf = r == 0
+            f.sf = bool(r >> 63)
+            f.pf = parity[r & 0xFF]
+            wr0(r)
+            regs.rip = end
+        return run_neg
+
+    if mn == "not":
+        def run_not():
+            wr0((~rd0()) & U64)
+            regs.rip = end
+        return run_not
+
+    return None
+
+
+def bind_control(uop: MicroOp, cpu):
+    """Bind a tail closure for a control-flow micro-op.  Tail closures
+    perform their own retire accounting (cost/count/class), mirroring
+    the seed's handler-then-retire order exactly — in particular a host
+    function body runs *before* the call instruction retires."""
+    regs = cpu.regs
+    mn = uop.mnemonic
+    ops = uop.instr.operands
+    next_rip = uop.end
+    cost = uop.cost
+    rbc = cpu.retired_by_class
+    ctrl = OpClass.CONTROL
+    prog = cpu.program
+    mem = cpu.mem
+
+    def _target(op):
+        if isinstance(op, Label):
+            if op.addr is not None and op.addr != -1:
+                t = op.addr
+                return lambda: t
+            name = op.name
+            return lambda: prog.resolve(name)
+        if isinstance(op, Reg):
+            rid = op.id
+            return lambda: regs.gpr[rid]
+        return None
+
+    if mn == "jmp":
+        tgt = _target(ops[0])
+        if tgt is None:
+            return None
+
+        def run_jmp():
+            regs.rip = tgt()
+            cpu.cycles += cost
+            cpu.work_cycles += cost
+            cpu.instruction_count += 1
+            rbc[ctrl] += 1
+        return run_jmp
+
+    if mn == "call":
+        tgt = _target(ops[0])
+        if tgt is None:
+            return None
+        hosts = prog.host_functions
+        store8 = _raw_store8_factory(mem)
+
+        def run_call():
+            target = tgt()
+            host = hosts.get(target)
+            if host is not None:
+                cpu.cycles += host.cost
+                cpu.work_cycles += host.cost
+                regs.rip = next_rip
+                host.fn(cpu)
+            else:
+                rsp = (regs.gpr[7] - 8) & U64
+                regs.gpr[7] = rsp
+                store8(rsp, next_rip)
+                regs.rip = target
+            cpu.cycles += cost
+            cpu.work_cycles += cost
+            cpu.instruction_count += 1
+            rbc[ctrl] += 1
+        return run_call
+
+    if mn == "ret":
+        load8 = _raw_load8_factory(mem)
+
+        def run_ret():
+            rsp = regs.gpr[7]
+            addr = load8(rsp)
+            regs.gpr[7] = (rsp + 8) & U64
+            if addr == _RETURN_SENTINEL:
+                cpu.halted = True
+            else:
+                regs.rip = addr
+            cpu.cycles += cost
+            cpu.work_cycles += cost
+            cpu.instruction_count += 1
+            rbc[ctrl] += 1
+        return run_ret
+
+    cond = CONDITION_CODES.get(mn)
+    if cond is None:
+        return None
+    tgt = _target(ops[0])
+    if tgt is None:
+        return None
+
+    def run_jcc():
+        regs.rip = tgt() if cond(regs.flags) else next_rip
+        cpu.cycles += cost
+        cpu.work_cycles += cost
+        cpu.instruction_count += 1
+        rbc[ctrl] += 1
+    return run_jcc
+
+
+# -------------------------------------------------------------- superblock
+class Superblock:
+    """A straight-line run of bound micro-ops plus an optional control
+    tail, with prefix cost sums for batched retire accounting."""
+
+    __slots__ = ("entry", "body", "classes", "class_counts", "prefix_cost",
+                 "n_body", "tail", "tail_addr")
+
+    def __init__(self, entry, body, classes, prefix_cost, tail, tail_addr):
+        self.entry = entry
+        self.body = body
+        self.classes = classes
+        self.class_counts = dict(Counter(classes))
+        self.prefix_cost = prefix_cost
+        self.n_body = len(body)
+        self.tail = tail
+        self.tail_addr = tail_addr
+
+
+class UopStats:
+    """Host-side execution counters for the throughput layer."""
+
+    __slots__ = ("blocks_built", "block_runs", "uops_retired",
+                 "slow_fallbacks", "single_steps")
+
+    def __init__(self) -> None:
+        self.blocks_built = 0
+        self.block_runs = 0
+        self.uops_retired = 0
+        self.slow_fallbacks = 0
+        self.single_steps = 0
+
+    @property
+    def uop_hit_rate(self) -> float:
+        """Fraction of executed instructions retired through micro-op
+        closures (vs. single-step fallbacks)."""
+        total = self.uops_retired + self.single_steps + self.slow_fallbacks
+        return self.uops_retired / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "blocks_built": self.blocks_built,
+            "block_runs": self.block_runs,
+            "uops_retired": self.uops_retired,
+            "slow_fallbacks": self.slow_fallbacks,
+            "single_steps": self.single_steps,
+            "uop_hit_rate": self.uop_hit_rate,
+        }
+
+
+class UopEngine:
+    """Per-CPU fetch/dispatch/execute engine running cached superblocks
+    with single-step fallback at traps, patch sites, and anything a
+    closure cannot execute (the :data:`SLOW` protocol)."""
+
+    def __init__(self, cpu) -> None:
+        self.cpu = cpu
+        self._blocks: dict[int, Superblock] = {}
+        self._epoch: int | None = None
+        self.stats = UopStats()
+
+    # --------------------------------------------------------- main loop
+    def run(self, limit: int) -> None:
+        from repro.machine.cpu import MachineError
+
+        cpu = self.cpu
+        regs = cpu.regs
+        prog = cpu.program
+        patches = prog.patches
+        blocks = self._blocks
+        stats = self.stats
+        step = cpu.step
+        steps = 0
+
+        while not cpu.halted:
+            epoch = prog.patch_epoch
+            if epoch != self._epoch:
+                blocks.clear()
+                self._epoch = epoch
+
+            rip = regs.rip
+            if cpu._suppress_patch_at is not None or rip in patches:
+                step()
+                steps += 1
+                stats.single_steps += 1
+                if steps >= limit:
+                    raise MachineError(f"run exceeded {limit} steps (runaway?)")
+                continue
+
+            block = blocks.get(rip)
+            if block is None:
+                block = self._build(rip)
+                blocks[rip] = block
+                stats.blocks_built += 1
+
+            n = block.n_body
+            if n and (limit - steps) >= n:
+                retired = self._run_body(cpu, block)
+                steps += retired
+                stats.uops_retired += retired
+                if retired < n:
+                    stats.slow_fallbacks += 1
+                    step()
+                    steps += 1
+                    if steps >= limit:
+                        raise MachineError(f"run exceeded {limit} steps (runaway?)")
+                    continue
+                stats.block_runs += 1
+                if steps >= limit:
+                    raise MachineError(f"run exceeded {limit} steps (runaway?)")
+                tail = block.tail
+                if tail is not None:
+                    tail()
+                    steps += 1
+                    stats.uops_retired += 1
+                    if steps >= limit:
+                        raise MachineError(f"run exceeded {limit} steps (runaway?)")
+                continue
+            if n == 0 and block.tail is not None:
+                block.tail()
+                steps += 1
+                stats.uops_retired += 1
+                stats.block_runs += 1
+                if steps >= limit:
+                    raise MachineError(f"run exceeded {limit} steps (runaway?)")
+                continue
+
+            # No runnable block (sys/unmapped/odd shape) or not enough
+            # step budget left for the whole body: seed single-step.
+            step()
+            steps += 1
+            stats.single_steps += 1
+            if steps >= limit:
+                raise MachineError(f"run exceeded {limit} steps (runaway?)")
+
+    # ------------------------------------------------------- body runner
+    @staticmethod
+    def _run_body(cpu, block: Superblock) -> int:
+        """Execute the block body, flushing the retired prefix's
+        accounting even if a closure raises (memory fault etc.), so
+        counters are exact before any trap/exception is observable."""
+        body = block.body
+        i = 0
+        try:
+            for fn in body:
+                if fn() is SLOW:
+                    break
+                i += 1
+        finally:
+            if i:
+                cost = block.prefix_cost[i]
+                cpu.cycles += cost
+                cpu.work_cycles += cost
+                cpu.instruction_count += i
+                rbc = cpu.retired_by_class
+                if i == block.n_body:
+                    for cls, cnt in block.class_counts.items():
+                        rbc[cls] += cnt
+                else:
+                    for cls in block.classes[:i]:
+                        rbc[cls] += 1
+        return i
+
+    # ---------------------------------------------------------- builder
+    def _build(self, entry: int) -> Superblock:
+        cpu = self.cpu
+        prog = cpu.program
+        by_addr = prog.by_addr
+        patches = prog.patches
+        body = []
+        classes = []
+        prefix = [0]
+        tail = None
+        tail_addr = None
+        addr = entry
+        while len(body) < MAX_BLOCK:
+            if addr in patches:
+                break
+            instr = by_addr.get(addr)
+            if instr is None:
+                break
+            uop = lower(instr)
+            cls = uop.opclass
+            if cls is OpClass.CONTROL:
+                tail = bind_control(uop, cpu)
+                if tail is not None:
+                    tail_addr = addr
+                break
+            if cls is OpClass.SYS:
+                break
+            fn = bind_exec(uop, cpu)
+            if fn is None:
+                break
+            body.append(fn)
+            classes.append(cls)
+            prefix.append(prefix[-1] + uop.cost)
+            addr += uop.size
+        return Superblock(entry, body, classes, prefix, tail, tail_addr)

@@ -1,0 +1,50 @@
+"""Host-throughput regression gate (``pytest -m perf_smoke``).
+
+Runs the pipeline benchmark at quick scales and compares each
+workload's *speedup ratio* (uops vs. interpreter) against the
+committed baseline.  The ratio is machine-independent — both tiers
+slow down together on a loaded or slower host — so the gate stays
+meaningful in CI, unlike absolute instructions/sec."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_pipeline.json"
+
+#: A run below ``baseline_speedup * (1 - TOLERANCE)`` fails the gate.
+TOLERANCE = 0.30
+
+
+def _load_bench_module():
+    path = REPO / "benchmarks" / "bench_pipeline.py"
+    spec = importlib.util.spec_from_file_location("bench_pipeline", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.perf_smoke
+def test_pipeline_speedup_no_regression(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "BENCH_pipeline.json"
+    assert bench.main(["--quick", "--out", str(out)]) == 0
+
+    current = {r["workload"]: r for r in json.loads(out.read_text())["results"]}
+    baseline = {r["workload"]: r for r in json.loads(BASELINE.read_text())["results"]}
+    assert set(current) == set(baseline)
+
+    failures = []
+    for workload, base in baseline.items():
+        row = current[workload]
+        assert row["identical_results"], f"{workload}: simulated results diverged"
+        floor = base["speedup"] * (1 - TOLERANCE)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{workload}: speedup {row['speedup']:.2f}x < floor "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x)"
+            )
+    assert not failures, "; ".join(failures)
