@@ -4,6 +4,9 @@ Runs each workload twice — micro-op pipeline OFF (the seed single-step
 interpreter) and ON — asserts the simulated results are bit-identical
 (cycles, instruction count, stdout), and reports host wall-clock
 guest-instructions/sec for both, writing ``BENCH_pipeline.json``.
+Multi-threaded workloads (``lorenz_mt``) run under the Process
+scheduler, comparing batched superblock quanta against the seed
+step-wise scheduler with per-thread cycle/trap parity checks.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick] [--out PATH]
@@ -22,23 +25,38 @@ import platform
 import sys
 import time
 
-from repro.harness.runner import run_native
+from repro.harness.runner import run_native, run_native_process
+from repro.workloads import get_workload
 
 #: (workload, full_scale, quick_scale)
 WORKLOADS = [
     ("fbench", None, 6),    # None = the registry's default scale
     ("lorenz", None, 150),
+    ("lorenz_mt", 2000, 300),
 ]
 REPS = 3
 
 
+def _thread_fingerprint(result) -> list | None:
+    """Per-thread (cycles, instructions, traps) — the batched-vs-stepwise
+    ledger parity check for Process runs."""
+    if result.host.threads is None:
+        return None
+    return [
+        (t["tid"], t["cycles"], t["instructions"], t["fp_traps"], t["bp_traps"])
+        for t in result.host.threads
+    ]
+
+
 def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
     """Best-of-``reps`` for each tier, with result-equality checks."""
+    runner = (run_native_process if get_workload(workload).requires_process
+              else run_native)
     runs = {}
     for label, uops in (("interp", False), ("uops", True)):
         best = None
         for _ in range(reps):
-            result = run_native(workload, scale, uops=uops)
+            result = runner(workload, scale, uops=uops)
             if best is None or result.host.seconds < best.host.seconds:
                 best = result
         runs[label] = best
@@ -48,6 +66,7 @@ def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
         interp.cycles == uops.cycles
         and interp.instructions == uops.instructions
         and interp.output == uops.output
+        and _thread_fingerprint(interp) == _thread_fingerprint(uops)
     )
     if not identical:
         raise AssertionError(
@@ -55,7 +74,7 @@ def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
             f"(cycles {interp.cycles} vs {uops.cycles}, "
             f"instructions {interp.instructions} vs {uops.instructions})"
         )
-    return {
+    row = {
         "workload": workload,
         "scale": scale,
         "instructions": uops.instructions,
@@ -68,6 +87,10 @@ def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
         "speedup": interp.host.seconds / uops.host.seconds,
         "uop_stats": uops.host.uop_stats,
     }
+    if uops.host.sched is not None:
+        row["sched"] = uops.host.sched
+        row["threads"] = len(uops.host.threads)
+    return row
 
 
 def main(argv: list[str] | None = None) -> int:

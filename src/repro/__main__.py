@@ -27,7 +27,12 @@ from repro.harness import conformance_cli
 from repro.harness import figures as F
 from repro.harness import report
 from repro.harness.configs import CONFIG_ORDER, named_configs
-from repro.harness.runner import run_fpvm, run_native
+from repro.harness.runner import (
+    run_fpvm,
+    run_fpvm_process,
+    run_native,
+    run_native_process,
+)
 from repro.workloads import WORKLOAD_NAMES, get_workload
 
 _CONFIG_FACTORY = {
@@ -53,8 +58,14 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     factory = _CONFIG_FACTORY[args.config]
     config = factory(altmath=args.altmath)
-    native = run_native(args.workload, scale=args.scale)
-    result = run_fpvm(args.workload, config, args.config.upper(), scale=args.scale)
+    if get_workload(args.workload).requires_process:
+        native = run_native_process(args.workload, scale=args.scale)
+        result = run_fpvm_process(args.workload, config, args.config.upper(),
+                                  scale=args.scale)
+    else:
+        native = run_native(args.workload, scale=args.scale)
+        result = run_fpvm(args.workload, config, args.config.upper(),
+                          scale=args.scale)
 
     print(f"== {args.workload} ({args.config.upper()}, {args.altmath}) ==")
     print(f"native output:      {native.output}")
@@ -78,8 +89,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
-    result = run_fpvm(args.workload, FPVMConfig.seq_short(), "SEQ_SHORT",
-                      scale=args.scale)
+    runner = (run_fpvm_process if get_workload(args.workload).requires_process
+              else run_fpvm)
+    result = runner(args.workload, FPVMConfig.seq_short(), "SEQ_SHORT",
+                    scale=args.scale)
     stats = result.trace_stats
     print(f"== {args.workload}: sequence emulation profile ==")
     print(f"traps: {result.traps}   emulated instructions: "

@@ -9,6 +9,8 @@
 - :mod:`repro.conformance.faults` — injected faults that the VM must
   recover from or fail loudly on with a typed
   :class:`~repro.errors.FPVMFaultError`.
+- :mod:`repro.conformance.scheduling` — batched superblock quanta vs
+  the seed step-wise scheduler, per thread, bit for bit.
 """
 
 from repro.conformance.generators import fuzz_program, gen_expr, gen_program
@@ -21,11 +23,16 @@ from repro.conformance.faults import (
 from repro.conformance.oracle import (
     CellRun, check_invariants, memory_digest, run_cell, run_native,
 )
+from repro.conformance.scheduling import (
+    QUANTA, SchedCheck, process_fingerprint, render_checks, run_schedule,
+)
+from repro.conformance.scheduling import sweep as sweep_schedules
 
 __all__ = [
-    "CellRun", "FaultOutcome", "Group", "MatrixReport", "SCENARIOS",
-    "check_invariants", "full_plan", "fuzz_program", "gen_expr",
-    "gen_program", "memory_digest", "render_report", "run_all",
-    "run_cell", "run_group", "run_native", "run_scenario", "smoke_plan",
-    "sweep",
+    "CellRun", "FaultOutcome", "Group", "MatrixReport", "QUANTA",
+    "SCENARIOS", "SchedCheck", "check_invariants", "full_plan",
+    "fuzz_program", "gen_expr", "gen_program", "memory_digest",
+    "process_fingerprint", "render_checks", "render_report", "run_all",
+    "run_cell", "run_group", "run_native", "run_scenario", "run_schedule",
+    "smoke_plan", "sweep", "sweep_schedules",
 ]

@@ -23,17 +23,21 @@ from repro.core.correctness import MAGIC_COOKIE
 from repro.core.vm import FPVM, FPVMConfig
 from repro.errors import (
     BoxHeapExhaustedError,
+    DeadlockError,
     DecodeCacheCorruptionError,
     DeviceProtocolError,
     FPVMFaultError,
     MagicPageCorruptionError,
+    StepLimitError,
     TrapStormError,
 )
 from repro.kernel.kernel import LinuxKernel
 from repro.kernel.signals import SIGFPE, SignalContext
+from repro.machine.assembler import assemble
 from repro.machine.cpu import CPU
 from repro.machine.isa import OpClass
 from repro.machine.memory import PROT_READ, PROT_WRITE
+from repro.machine.process import Process
 from repro.machine.program import MAGIC_PAGE_ADDR
 from repro.workloads import build_program
 
@@ -309,6 +313,61 @@ def device_entry_clobbered() -> FaultOutcome:
                         detail="clobbered entry delivered without complaint")
 
 
+_DEADLOCK_SRC = """
+.text
+worker:
+  mov rdi, 0
+  call thread_join      ; join main — which is joining us
+  ret
+main:
+  mov rdi, worker
+  mov rsi, 0
+  call thread_create
+  mov rdi, rax
+  call thread_join      ; join the worker — the cycle closes
+  hlt
+"""
+
+_SPIN_SRC = """
+.text
+main:
+spin:
+  jmp spin
+"""
+
+
+def scheduler_deadlock() -> FaultOutcome:
+    """A join cycle: main joins the worker while the worker joins main.
+    Every live thread is parked, so the scheduler must raise the typed
+    DeadlockError instead of spinning or returning quietly."""
+    name, desc = "scheduler_deadlock", "main and worker join each other"
+    proc = Process(assemble(_DEADLOCK_SRC))
+    proc.kernel = LinuxKernel()
+    try:
+        proc.run(max_steps=MAX_STEPS)
+    except DeadlockError as err:
+        return FaultOutcome(name, desc, detected=True, recovered=False,
+                            error="DeadlockError", detail=str(err))
+    return FaultOutcome(name, desc, detected=False, recovered=False,
+                        detail="join cycle not detected")
+
+
+def scheduler_step_limit() -> FaultOutcome:
+    """A guest that never terminates (tight jmp loop) against a small
+    scheduler step budget — the typed StepLimitError must surface,
+    distinguishing guest non-termination from machinery faults."""
+    name, desc = "scheduler_step_limit", "infinite loop vs. 1000-step budget"
+    proc = Process(assemble(_SPIN_SRC))
+    proc.kernel = LinuxKernel()
+    try:
+        proc.run(max_steps=1000)
+    except StepLimitError as err:
+        return FaultOutcome(name, desc, detected=True, recovered=False,
+                            error="StepLimitError", detail=str(err))
+    return FaultOutcome(name, desc, detected=False, recovered=False,
+                        detail="runaway process not stopped")
+
+
 #: the registry, in documentation order.
 SCENARIOS = {
     fn.__name__: fn
@@ -323,6 +382,8 @@ SCENARIOS = {
         box_heap_exhaustion,
         device_registration_revoked,
         device_entry_clobbered,
+        scheduler_deadlock,
+        scheduler_step_limit,
     )
 }
 

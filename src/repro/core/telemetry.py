@@ -59,6 +59,55 @@ class CycleLedger:
         return dict(self.by_category)
 
 
+class SchedulerStats:
+    """Host-side telemetry for the process scheduler's batched quanta.
+
+    One record per :meth:`repro.machine.process.Process.run` lifetime:
+    every scheduler dispatch (one ``thread.run_quantum(budget)`` call)
+    records which thread ran and how many steps it actually took, so
+    quantum efficiency — instructions retired per dispatch, the measure
+    of how much work each batched dispatch amortizes — is observable
+    globally and per thread.
+    """
+
+    __slots__ = ("quantum", "dispatches", "steps", "per_thread")
+
+    def __init__(self) -> None:
+        #: quantum size of the most recent run() driving this record.
+        self.quantum = 0
+        self.dispatches = 0
+        self.steps = 0
+        #: tid -> [dispatches, steps]
+        self.per_thread: dict[int, list[int]] = {}
+
+    def record(self, tid: int, retired: int) -> None:
+        self.dispatches += 1
+        self.steps += retired
+        cell = self.per_thread.get(tid)
+        if cell is None:
+            self.per_thread[tid] = [1, retired]
+        else:
+            cell[0] += 1
+            cell[1] += retired
+
+    @property
+    def quantum_efficiency(self) -> float:
+        """Mean instructions retired per scheduler dispatch."""
+        return self.steps / self.dispatches if self.dispatches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "quantum": self.quantum,
+            "dispatches": self.dispatches,
+            "steps": self.steps,
+            "quantum_efficiency": self.quantum_efficiency,
+            "per_thread": {
+                tid: {"dispatches": d, "steps": s}
+                for tid, (d, s) in sorted(self.per_thread.items())
+            },
+        }
+
+
 @dataclass
 class Telemetry:
     """Everything a run reports besides the ledger."""

@@ -188,6 +188,10 @@ class FPVM:
         thread.regs.mxcsr = MXCSR_FPVM
         thread.fp_disabled = self.config.trap_all_fp
         thread.kernel = self.kernel
+        # Same uop-pipeline policy as attach(): a forced config wins
+        # over whatever the spawn path inherited.
+        if self.config.uops is not None:
+            thread.uops_enabled = self.config.uops
         if self.config.trap_short_circuit:
             handle = self.kernel.fpvm_module.open(thread)
             handle.ioctl(FPVM_IOCTL_REGISTER_ENTRY, self._entry_stub)

@@ -61,3 +61,21 @@ class DeviceProtocolError(FPVMFaultError):
     closed fd, or a short-circuit delivery for an unregistered thread."""
 
     fault = "device"
+
+
+class DeadlockError(FPVMFaultError):
+    """The process scheduler found live threads but none runnable —
+    every surviving thread is parked in ``thread_join`` waiting on a
+    thread that can never finish (a join cycle, or a join on a thread
+    itself blocked forever)."""
+
+    fault = "deadlock"
+
+
+class StepLimitError(FPVMFaultError):
+    """The process exceeded its global scheduler step budget — the
+    multi-threaded analogue of a runaway single CPU hitting
+    ``max_steps``, promoted to a typed error so harnesses can
+    distinguish 'guest never terminates' from machinery faults."""
+
+    fault = "step_limit"

@@ -1,16 +1,17 @@
 """``python -m repro conformance``: drive the conformance matrix and
 the fault-injection scenarios from the command line.
 
-Default is the smoke grid (≈30 cells, a couple of seconds) plus every
-fault scenario; ``--full`` sweeps the whole matrix, ``--faults-only``
-and ``--matrix-only`` cut it down, ``--scenario NAME`` runs one
-injected fault.  Exit status is non-zero on any mismatch, invariant
-failure, or undetected fault, so CI can gate on it directly.
+Default is the smoke grid (≈30 cells, a couple of seconds), the
+batched-vs-stepwise scheduling axis, and every fault scenario;
+``--full`` sweeps the whole matrix, ``--faults-only`` /
+``--matrix-only`` / ``--sched-only`` cut it down, ``--scenario NAME``
+runs one injected fault.  Exit status is non-zero on any mismatch,
+invariant failure, or undetected fault, so CI can gate on it directly.
 """
 
 from __future__ import annotations
 
-from repro.conformance import faults, matrix
+from repro.conformance import faults, matrix, scheduling
 
 
 def add_subparser(sub) -> None:
@@ -27,6 +28,8 @@ def add_subparser(sub) -> None:
                       help="skip the fault-injection scenarios")
     what.add_argument("--faults-only", action="store_true",
                       help="skip the matrix sweep")
+    what.add_argument("--sched-only", action="store_true",
+                      help="run only the batched-scheduling axis")
     p.add_argument("--scenario", choices=sorted(faults.SCENARIOS),
                    help="run a single fault scenario")
     p.add_argument("--verbose", action="store_true",
@@ -41,7 +44,7 @@ def cmd_conformance(args) -> int:
         print(outcome)
         return 0 if outcome.ok else 1
 
-    if not args.faults_only:
+    if not (args.faults_only or args.sched_only):
         plan = matrix.full_plan() if args.full else matrix.smoke_plan()
         grid = "full" if args.full else "smoke"
         print(f"== conformance matrix ({grid}: {len(plan)} groups) ==")
@@ -53,7 +56,19 @@ def cmd_conformance(args) -> int:
         print()
         failed |= not report.ok
 
-    if not args.matrix_only:
+    if not (args.faults_only or args.matrix_only):
+        n_cells = len(scheduling.PROGRAMS) * len(scheduling.ATTACH_MODES) * (
+            len(scheduling.QUANTA) + 1)
+        print(f"== scheduling axis (batched vs stepwise, {n_cells} cells) ==")
+        progress = None
+        if args.verbose:
+            progress = lambda c: print(f"  done {c.label}")
+        checks = scheduling.sweep(progress=progress)
+        print(scheduling.render_checks(checks))
+        print()
+        failed |= any(not c.ok for c in checks)
+
+    if not (args.matrix_only or args.sched_only):
         print(f"== fault injection ({len(faults.SCENARIOS)} scenarios) ==")
         for outcome in faults.run_all():
             print(f"  {'ok' if outcome.ok else 'FAIL':>4} {outcome}")

@@ -33,6 +33,13 @@ class HostPerf:
     #: compiled-trace tier counters, if an FPVM was attached.
     compiled_traces: int = 0
     compiled_trace_hits: int = 0
+    #: per-thread breakdown for Process runs: one dict per thread with
+    #: instructions/cycles/traps, host throughput share, scheduler
+    #: dispatches, and the thread's superblock quantum-exit reasons.
+    threads: list | None = None
+    #: scheduler-level telemetry (SchedulerStats.as_dict()): dispatches,
+    #: steps, and quantum efficiency = instructions retired per dispatch.
+    sched: dict | None = None
 
     @property
     def ips(self) -> float:
@@ -114,6 +121,104 @@ def run_native(
     )
     return NativeResult(workload, cpu.cycles, cpu.instruction_count,
                         list(cpu.output), host=host)
+
+
+def _process_host_perf(proc, seconds: float) -> HostPerf:
+    """Aggregate a finished Process run into a HostPerf with per-thread
+    breakdown and scheduler telemetry."""
+    sched = proc.sched
+    per_thread = {tid: s for tid, (d, s) in sched.per_thread.items()}
+    total_sched_steps = sched.steps or 1
+    threads = []
+    for t in proc.threads:
+        stats = t.uop_stats
+        t_steps = per_thread.get(t.tid, 0)
+        threads.append({
+            "tid": t.tid,
+            "instructions": t.instruction_count,
+            "cycles": t.cycles,
+            "fp_traps": t.fp_trap_count,
+            "bp_traps": t.bp_trap_count,
+            # wall clock is shared round-robin; attribute it by the
+            # thread's share of scheduler steps.
+            "ips": (t.instruction_count
+                    / (seconds * t_steps / total_sched_steps)
+                    if seconds > 0 and t_steps else 0.0),
+            "dispatches": sched.per_thread.get(t.tid, (0, 0))[0],
+            "quantum_exits": (dict(stats.quantum_exits)
+                              if stats is not None else None),
+        })
+    total_instructions = sum(t.instruction_count for t in proc.threads)
+    main_stats = proc.main.uop_stats
+    return HostPerf(
+        seconds=seconds,
+        instructions=total_instructions,
+        uop_stats=main_stats.as_dict() if main_stats is not None else None,
+        threads=threads,
+        sched=sched.as_dict(),
+    )
+
+
+def run_native_process(
+    workload: str,
+    scale: int | None = None,
+    uops: bool | None = None,
+    quantum: int = 64,
+    **kw,
+) -> NativeResult:
+    """Run a (typically multi-threaded) workload under the Process
+    round-robin scheduler, batching each quantum through the uop
+    pipeline unless ``uops=False``."""
+    from repro.machine.process import Process
+
+    proc = Process(build_program(workload, scale, **kw), uops=uops)
+    proc.kernel = LinuxKernel()
+    t0 = time.perf_counter()
+    proc.run(quantum=quantum)
+    seconds = time.perf_counter() - t0
+    host = _process_host_perf(proc, seconds)
+    return NativeResult(workload, proc.total_cycles, host.instructions,
+                        list(proc.main.output), host=host)
+
+
+def run_fpvm_process(
+    workload: str,
+    config: FPVMConfig,
+    config_name: str = "",
+    scale: int | None = None,
+    quantum: int = 64,
+    **kw,
+) -> FPVMResult:
+    """FPVM-attached Process run: every spawned thread is intercepted
+    and virtualized (§2.1), scheduled in batched quanta."""
+    from repro.machine.process import Process
+
+    program = build_program(workload, scale, **kw)
+    proc = Process(program)
+    kernel = LinuxKernel()
+    vm = FPVM(config).attach_process(proc, kernel)
+    t0 = time.perf_counter()
+    proc.run(quantum=quantum)
+    seconds = time.perf_counter() - t0
+    t = vm.telemetry
+    host = _process_host_perf(proc, seconds)
+    host.compiled_traces = t.compiled_traces
+    host.compiled_trace_hits = t.compiled_trace_hits
+    return FPVMResult(
+        workload=workload,
+        config_name=config_name or _config_label(config),
+        cycles=proc.total_cycles,
+        output=list(proc.main.output),
+        ledger=vm.ledger.snapshot(),
+        emulated_instructions=t.emulated_instructions,
+        traps=t.traps,
+        avg_sequence_length=t.avg_sequence_length,
+        gc_runs=t.gc_runs,
+        trace_stats=vm.trace_stats,
+        telemetry=t,
+        program=program,
+        host=host,
+    )
 
 
 def run_fpvm(

@@ -73,6 +73,23 @@ class CPU:
         max_instructions: int = 100_000_000,
         uops: bool | None = None,
     ):
+        self._init_core(program, costs, max_instructions, uops=uops)
+        self.mem = Memory()
+        self._load_image()
+
+    def _init_core(
+        self,
+        program: Program,
+        costs: CostModel = DEFAULT_COSTS,
+        max_instructions: int = 100_000_000,
+        uops: bool | None = None,
+    ) -> None:
+        """Initialise every per-core field *except* memory and the loaded
+        image.  ``__init__`` and :meth:`repro.machine.process.Process.spawn`
+        both route through here, so a field added for one construction
+        path cannot silently be missing from the other (spawned thread
+        CPUs share the process memory instead of loading a fresh image).
+        """
         self.program = program
         self.costs = costs
         self.max_instructions = max_instructions
@@ -82,7 +99,6 @@ class CPU:
         #: through this so profiling copies never spawn into the
         #: original process).
         self.process = None
-        self.mem = Memory()
         self.regs = RegisterFile()
         self.cycles = 0
         #: cycles the *guest* earned (retired instructions + host-library
@@ -115,7 +131,6 @@ class CPU:
         #: way — the engine falls back to step() wherever it must.
         self.uops_enabled = uops_enabled_default() if uops is None else uops
         self._uop_engine = None
-        self._load_image()
         self._dispatch = self._build_dispatch()
 
     # --------------------------------------------------------------- setup
@@ -142,14 +157,18 @@ class CPU:
         self.mem.write_u64(rsp, RETURN_SENTINEL)
 
     # ------------------------------------------------------------- running
+    def _engine(self):
+        """The lazily-created micro-op engine for this core."""
+        if self._uop_engine is None:
+            from repro.machine.uops import UopEngine
+
+            self._uop_engine = UopEngine(self)
+        return self._uop_engine
+
     def run(self, max_steps: int | None = None) -> None:
         limit = max_steps if max_steps is not None else self.max_instructions
         if self.uops_enabled:
-            if self._uop_engine is None:
-                from repro.machine.uops import UopEngine
-
-                self._uop_engine = UopEngine(self)
-            self._uop_engine.run(limit)
+            self._engine().run(limit)
             return
         steps = 0
         while not self.halted:
@@ -157,6 +176,27 @@ class CPU:
             steps += 1
             if steps >= limit:
                 raise MachineError(f"run exceeded {limit} steps (runaway?)")
+
+    def run_quantum(self, budget: int) -> int:
+        """Execute up to ``budget`` scheduler steps and return how many
+        were taken.  One "step" here has exactly the semantics of one
+        :meth:`step` call — a trap-delivering non-retiring step still
+        counts — so a batched scheduler quantum is step-for-step
+        identical to the seed ``quantum × step()`` loop.
+
+        With uops enabled the quantum dispatches whole superblocks
+        through :meth:`UopEngine.run_quantum`; otherwise it is the seed
+        single-step loop.  Returns early (possibly 0) on halt or block.
+        """
+        if budget <= 0 or self.halted or self.blocked:
+            return 0
+        if self.uops_enabled:
+            return self._engine().run_quantum(budget)
+        steps = 0
+        while steps < budget and not (self.halted or self.blocked):
+            self.step()
+            steps += 1
+        return steps
 
     @property
     def uop_stats(self):

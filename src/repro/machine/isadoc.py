@@ -61,12 +61,38 @@ def render_isa_reference() -> str:
                 f"| {info.cost} | {emulated} |"
             )
         lines.append("")
+    lines += _render_thread_api()
     supported = sum(1 for m in OPCODES if m in DEFAULT_SUPPORTED)
     lines.append(
         f"Totals: {len(OPCODES)} mnemonics, {supported} emulator-supported, "
         f"{len(OPCODES) - supported} sequence terminators."
     )
     return "\n".join(lines) + "\n"
+
+
+def _render_thread_api() -> list[str]:
+    """The pthread-flavoured host functions, derived from the same
+    ``THREAD_API`` table :class:`repro.machine.process.Process`
+    registers them from."""
+    from repro.machine.process import THREAD_API
+
+    lines = [
+        "## Thread host functions (Process-scheduled programs only)",
+        "",
+        "Installed by `repro.machine.process.Process` (generated from",
+        "its `THREAD_API` table); `call`-able like any host function.",
+        "Programs using them must run under a `Process`, not a bare CPU.",
+        "",
+        "| function | signature | host cycles | behaviour |",
+        "|---|---|---|---|",
+    ]
+    for spec in THREAD_API:
+        lines.append(
+            f"| `{spec.name}` | `{spec.signature}` | {spec.cost} "
+            f"| {spec.description} |"
+        )
+    lines.append("")
+    return lines
 
 
 def write_isa_reference(path: str = "docs/ISA.md") -> str:

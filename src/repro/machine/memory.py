@@ -82,6 +82,20 @@ class Memory:
     def mapped_page_count(self) -> int:
         return len(self._pages)
 
+    def clone_pages(self, source: "Memory") -> None:
+        """Replace this memory's contents with a deep copy of ``source``'s
+        pages (fork semantics: same addresses, same protections, fully
+        independent byte storage).
+
+        Mutates ``self._pages`` in place rather than rebinding it —
+        the uop pipeline's memory closures capture the page dict by
+        reference, so a rebind would silently detach them.
+        """
+        self._pages.clear()
+        for pno, page in source._pages.items():
+            self._pages[pno] = _Page(bytearray(page.data), page.prot)
+        self.auto_map = source.auto_map
+
     # ------------------------------------------------------------ access
     def _page_for(self, addr: int, write: bool) -> _Page:
         pno = addr >> PAGE_SHIFT

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import DeadlockError, StepLimitError
 from repro.machine.cpu import CPU, RETURN_SENTINEL
 from repro.machine.isa import GPR_IDS
 from repro.machine.program import HostFunction, Program, STACK_TOP
@@ -33,13 +34,20 @@ RAX = GPR_IDS["rax"]
 class Process:
     """One simulated process: shared memory, N thread contexts."""
 
-    def __init__(self, program: Program, costs=None, max_instructions: int = 100_000_000):
+    def __init__(
+        self,
+        program: Program,
+        costs=None,
+        max_instructions: int = 100_000_000,
+        uops: bool | None = None,
+    ):
         from repro.machine.costs import DEFAULT_COSTS
+        from repro.core.telemetry import SchedulerStats
 
         self.program = program
         self.costs = costs or DEFAULT_COSTS
         self.max_instructions = max_instructions
-        main = CPU(program, self.costs, max_instructions)
+        main = CPU(program, self.costs, max_instructions, uops=uops)
         main.tid = 0
         main.process = self
         self.threads: list[CPU] = [main]
@@ -48,6 +56,11 @@ class Process:
         self._next_stack = STACK_TOP - THREAD_STACK_STRIDE
         #: fired as fn(process, new_thread_cpu) on every spawn.
         self.on_thread_spawn: list = []
+        #: (waiting_tid, awaited_tid) in the order joins were satisfied
+        #: — the scheduler-order observable the conformance axis checks.
+        self.join_log: list[tuple[int, int]] = []
+        #: batched-quantum telemetry, accumulated across run() calls.
+        self.sched = SchedulerStats()
         self._install_thread_api()
 
     @property
@@ -66,31 +79,26 @@ class Process:
     # -------------------------------------------------------------- spawn
     def spawn(self, entry: int, arg: int = 0) -> int:
         """clone()-alike: a new thread context sharing the address
-        space, starting at ``entry`` with ``arg`` in rdi."""
+        space, starting at ``entry`` with ``arg`` in rdi.
+
+        The thread core is built through :meth:`CPU._init_core` — the
+        same path ``CPU.__init__`` uses — so every per-core field
+        (including the uop pipeline's) exists on spawned threads; only
+        memory, stdout, kernel and FP mode are then rebound to the
+        process-shared state.
+        """
         thread = CPU.__new__(CPU)
-        thread.program = self.program
-        thread.costs = self.costs
-        thread.max_instructions = self.max_instructions
+        thread._init_core(
+            self.program,
+            self.costs,
+            self.max_instructions,
+            uops=self.main.uops_enabled,
+        )
         thread.mem = self.mem                      # shared address space
-        from repro.machine.registers import RegisterFile
-
-        thread.regs = RegisterFile()
-        thread.cycles = 0
-        thread.work_cycles = 0
-        thread.instruction_count = 0
-        from collections import Counter
-
-        thread.retired_by_class = Counter()
-        thread.fp_trap_count = 0
-        thread.bp_trap_count = 0
         thread.output = self.main.output           # shared stdout
         thread.kernel = self.main.kernel
-        thread.halted = False
-        thread.blocked = False
         thread.fp_disabled = self.main.fp_disabled
         thread.process = self
-        thread._suppress_patch_at = None
-        thread._dispatch = thread._build_dispatch()
 
         rsp = self._next_stack - 64
         self._next_stack -= THREAD_STACK_STRIDE
@@ -115,29 +123,39 @@ class Process:
                 if self.threads[awaited].halted:
                     del self._joins[t.tid]  # join satisfied
                     t.blocked = False
+                    self.join_log.append((t.tid, awaited))
                 else:
                     continue                # still blocked
             out.append(t)
         return out
 
     def run(self, quantum: int = 64, max_steps: int | None = None) -> None:
-        """Round-robin scheduling until every thread halts."""
+        """Round-robin scheduling until every thread halts.
+
+        Each scheduler quantum is one batched :meth:`CPU.run_quantum`
+        dispatch: with the uop pipeline enabled the whole quantum runs
+        as superblock dispatches inside the engine; with it disabled
+        (``FPVM_UOPS=0`` / ``CPU(uops=False)``) the dispatch degrades
+        to the seed's single-step loop.  Either way the step accounting
+        is identical to ``quantum × thread.step()``, so batched and
+        step-wise scheduling are bit-identical in every observable.
+        """
         limit = max_steps if max_steps is not None else self.max_instructions
+        sched = self.sched
+        sched.quantum = quantum
         steps = 0
         while True:
             runnable = self.alive()
             if not runnable:
                 if all(t.halted for t in self.threads):
                     return
-                raise RuntimeError("deadlock: all live threads blocked in join")
+                raise DeadlockError("deadlock: all live threads blocked in join")
             for thread in runnable:
-                for _ in range(quantum):
-                    if thread.halted or thread.blocked:
-                        break
-                    thread.step()
-                    steps += 1
-                    if steps >= limit:
-                        raise RuntimeError(f"process exceeded {limit} steps")
+                retired = thread.run_quantum(min(quantum, limit - steps))
+                sched.record(thread.tid, retired)
+                steps += retired
+                if steps >= limit:
+                    raise StepLimitError(f"process exceeded {limit} steps")
 
     @property
     def total_cycles(self) -> int:
@@ -153,12 +171,10 @@ class Process:
         program = self.program
         if "thread_create" in program.symbols:
             return  # already installed (e.g. program reuse)
-        program.register_host_function(
-            HostFunction("thread_create", _thread_create, cost=450)
-        )
-        program.register_host_function(
-            HostFunction("thread_join", _thread_join, cost=120)
-        )
+        for spec in THREAD_API:
+            program.register_host_function(
+                HostFunction(spec.name, spec.fn, cost=spec.cost)
+            )
 
 
 def _owning_process(cpu) -> "Process":
@@ -188,16 +204,56 @@ def _thread_join(cpu) -> None:
     cpu.regs.write_gpr(RAX, 0)
 
 
+@dataclass(frozen=True)
+class ThreadHostFn:
+    """Spec for one pthread-flavoured host function — single source of
+    truth for registration (:meth:`Process._install_thread_api`) and the
+    generated ISA reference (:mod:`repro.machine.isadoc`)."""
+
+    name: str
+    fn: object
+    cost: int
+    signature: str
+    description: str
+
+
+THREAD_API: tuple[ThreadHostFn, ...] = (
+    ThreadHostFn(
+        "thread_create",
+        _thread_create,
+        450,
+        "rdi=entry, rsi=arg → rax=tid",
+        "pthread_create-alike: spawns a thread CPU sharing the address "
+        "space, starting at `entry` with `arg` in rdi on a fresh 64 KiB "
+        "stack; fires `Process.on_thread_spawn` hooks (where FPVM "
+        "attaches per-thread state).",
+    ),
+    ThreadHostFn(
+        "thread_join",
+        _thread_join,
+        120,
+        "rdi=tid → rax=0",
+        "pthread_join-alike: blocks the calling thread until thread "
+        "`tid` halts (no-op if it already has); the scheduler parks the "
+        "caller and wakes it when the join is satisfied.",
+    ),
+)
+
+
 def fork_process(parent: Process) -> Process:
     """fork(): a new process with a copy-on-write-free deep copy of the
     parent's memory image and a single thread cloned from the caller.
     FPVM's constructors re-run via the returned process's spawn hooks
     (the caller re-attaches, as the real LD_PRELOAD constructor does).
     """
-    child = Process(parent.program.copy(), parent.costs, parent.max_instructions)
-    # Clone memory: replay every mapped page.
-    for page_addr in list(parent.mem._pages):
-        src = parent.mem._pages[page_addr]
-        child.mem._pages[page_addr] = type(src)(bytearray(src.data), src.prot)
+    child = Process(
+        parent.program.copy(),
+        parent.costs,
+        parent.max_instructions,
+        uops=parent.main.uops_enabled,
+    )
+    child.mem.clone_pages(parent.mem)
+    # Post-fork threads must not collide with stacks carved pre-fork.
+    child._next_stack = parent._next_stack
     child.main.regs.restore(parent.main.regs.snapshot())
     return child

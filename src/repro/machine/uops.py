@@ -1243,7 +1243,8 @@ class UopStats:
     """Host-side execution counters for the throughput layer."""
 
     __slots__ = ("blocks_built", "block_runs", "uops_retired",
-                 "slow_fallbacks", "single_steps")
+                 "slow_fallbacks", "single_steps",
+                 "quantum_dispatches", "quantum_exits")
 
     def __init__(self) -> None:
         self.blocks_built = 0
@@ -1251,6 +1252,10 @@ class UopStats:
         self.uops_retired = 0
         self.slow_fallbacks = 0
         self.single_steps = 0
+        #: scheduler quanta dispatched through run_quantum().
+        self.quantum_dispatches = 0
+        #: why each quantum ended: budget / halted / blocked.
+        self.quantum_exits: Counter = Counter()
 
     @property
     def uop_hit_rate(self) -> float:
@@ -1267,6 +1272,8 @@ class UopStats:
             "slow_fallbacks": self.slow_fallbacks,
             "single_steps": self.single_steps,
             "uop_hit_rate": self.uop_hit_rate,
+            "quantum_dispatches": self.quantum_dispatches,
+            "quantum_exits": dict(self.quantum_exits),
         }
 
 
@@ -1354,6 +1361,92 @@ class UopEngine:
             stats.single_steps += 1
             if steps >= limit:
                 raise MachineError(f"run exceeded {limit} steps (runaway?)")
+
+    # ----------------------------------------------------- quantum entry
+    def run_quantum(self, budget: int) -> int:
+        """Dispatch superblocks for one scheduler quantum of at most
+        ``budget`` steps; returns the number of steps taken.
+
+        A "step" is exactly one seed ``cpu.step()`` equivalent — each
+        body micro-op, each control tail, and each single-step fallback
+        counts one, so a batched quantum consumes the process's global
+        step budget precisely like ``budget × step()`` would.  The
+        quantum ends when the budget is spent or the core halts or
+        blocks (``thread_join``); a trap or SLOW sentinel inside the
+        quantum falls back to ``step()`` and the quantum continues.
+        Never exceeds ``budget``: a block body only runs when it fits
+        in the remaining budget, and the tail / SLOW-fallback step is
+        skipped once the budget is exhausted.
+        """
+        cpu = self.cpu
+        regs = cpu.regs
+        prog = cpu.program
+        patches = prog.patches
+        blocks = self._blocks
+        stats = self.stats
+        step = cpu.step
+        retired = 0
+        exit_reason = "budget"
+        stats.quantum_dispatches += 1
+
+        while retired < budget:
+            if cpu.halted:
+                exit_reason = "halted"
+                break
+            if cpu.blocked:
+                exit_reason = "blocked"
+                break
+            epoch = prog.patch_epoch
+            if epoch != self._epoch:
+                blocks.clear()
+                self._epoch = epoch
+
+            rip = regs.rip
+            if cpu._suppress_patch_at is not None or rip in patches:
+                step()
+                retired += 1
+                stats.single_steps += 1
+                continue
+
+            block = blocks.get(rip)
+            if block is None:
+                block = self._build(rip)
+                blocks[rip] = block
+                stats.blocks_built += 1
+
+            n = block.n_body
+            if n and (budget - retired) >= n:
+                done = self._run_body(cpu, block)
+                retired += done
+                stats.uops_retired += done
+                if done < n:
+                    stats.slow_fallbacks += 1
+                    if retired < budget:
+                        step()
+                        retired += 1
+                    continue
+                stats.block_runs += 1
+                tail = block.tail
+                if tail is not None and retired < budget:
+                    tail()
+                    retired += 1
+                    stats.uops_retired += 1
+                continue
+            if n == 0 and block.tail is not None:
+                block.tail()
+                retired += 1
+                stats.uops_retired += 1
+                stats.block_runs += 1
+                continue
+
+            # No runnable block (sys/unmapped/odd shape) or the body
+            # does not fit in the remaining budget: seed single-step.
+            step()
+            retired += 1
+            stats.single_steps += 1
+
+        stats.quantum_exits[exit_reason] += 1
+        return retired
 
     # ------------------------------------------------------- body runner
     @staticmethod

@@ -15,6 +15,9 @@
   with an HLL Riemann solver) standing in for the 307 kLoC Enzo: many
   distinct basic blocks => many distinct short sequences, large arrays
   => more GC pressure.
+- ``lorenz_mt`` — a trajectory ensemble sharded across N pthread-style
+  workers (§2.1 thread interception); must run under a Process, which
+  provides the thread_create/thread_join host API.
 """
 
 from repro.workloads.registry import (

@@ -1,0 +1,143 @@
+"""Multi-threaded Lorenz attractor (`lorenz_mt`): trajectory sharding.
+
+The single-threaded ``lorenz`` workload integrates one trajectory; this
+one shards ``threads`` independent trajectories — each with perturbed
+initial conditions, the standard chaotic-ensemble experiment — across N
+pthread-style workers (``thread_create`` / ``thread_join``), exactly
+the §2.1 scenario where FPVM intercepts thread startup so every worker
+runs virtualized.  Each worker is the same long straight-line FP loop
+as ``lorenz`` (sequence emulation's best case), so the workload
+measures how much of the uop pipeline's single-thread win the batched
+process scheduler preserves.
+
+The mini-C compiler has no thread-call support, so the program is
+generated assembly; the builder returns a module-shim whose
+``compile()`` assembles it, which is all the workload registry needs.
+Thread host functions are installed by :class:`repro.machine.process.
+Process`, so this workload must run under a Process (e.g. the
+``run_native_process`` / ``run_fpvm_process`` harness entry points),
+not a bare CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SIGMA = 10.0
+RHO = 28.0
+BETA = 8.0 / 3.0
+H = 0.005
+
+
+def initial_conditions(threads: int) -> list[tuple[float, float, float]]:
+    """Perturbed per-shard starting points (distinct trajectories)."""
+    return [(1.0 + 0.07 * i, 1.0 + 0.03 * i, 1.0) for i in range(threads)]
+
+
+def _doubles(values) -> str:
+    return ", ".join(repr(float(v)) for v in values)
+
+
+def generate_source(scale: int, threads: int) -> str:
+    """Emit the assembly: shared state arrays, one `worker` routine
+    indexed by shard, and a `main` that creates/joins every worker and
+    prints the final (x, y, z) of each shard."""
+    init = initial_conditions(threads)
+    lines = [
+        ".data",
+        f"xs: .double {_doubles(p[0] for p in init)}",
+        f"ys: .double {_doubles(p[1] for p in init)}",
+        f"zs: .double {_doubles(p[2] for p in init)}",
+        f"sigma: .double {SIGMA!r}",
+        f"rho: .double {RHO!r}",
+        f"beta: .double {BETA!r}",
+        f"h: .double {H!r}",
+        f"nsteps: .quad {max(scale, 1)}",
+        "",
+        ".text",
+        "worker:",
+        "  ; rdi = shard index; state lives in xs/ys/zs[rdi]",
+        "  mov rcx, [rip + nsteps]",
+        "  mov rbx, xs",
+        "  movsd xmm0, [rbx + rdi*8]     ; x",
+        "  mov rbx, ys",
+        "  movsd xmm1, [rbx + rdi*8]     ; y",
+        "  mov rbx, zs",
+        "  movsd xmm2, [rbx + rdi*8]     ; z",
+        "  movsd xmm5, [rip + sigma]",
+        "  movsd xmm6, [rip + rho]",
+        "  movsd xmm7, [rip + beta]",
+        "  movsd xmm8, [rip + h]",
+        "wloop:",
+        "  ; dx = sigma * (y - x)",
+        "  movsd xmm3, xmm1",
+        "  subsd xmm3, xmm0",
+        "  mulsd xmm3, xmm5",
+        "  ; dy = x * (rho - z) - y",
+        "  movsd xmm4, xmm6",
+        "  subsd xmm4, xmm2",
+        "  mulsd xmm4, xmm0",
+        "  subsd xmm4, xmm1",
+        "  ; dz = x * y - beta * z",
+        "  movsd xmm9, xmm0",
+        "  mulsd xmm9, xmm1",
+        "  movsd xmm10, xmm7",
+        "  mulsd xmm10, xmm2",
+        "  subsd xmm9, xmm10",
+        "  ; forward-Euler step",
+        "  mulsd xmm3, xmm8",
+        "  addsd xmm0, xmm3",
+        "  mulsd xmm4, xmm8",
+        "  addsd xmm1, xmm4",
+        "  mulsd xmm9, xmm8",
+        "  addsd xmm2, xmm9",
+        "  dec rcx",
+        "  jne wloop",
+        "  mov rbx, xs",
+        "  movsd [rbx + rdi*8], xmm0",
+        "  mov rbx, ys",
+        "  movsd [rbx + rdi*8], xmm1",
+        "  mov rbx, zs",
+        "  movsd [rbx + rdi*8], xmm2",
+        "  ret",
+        "",
+        "main:",
+    ]
+    for i in range(threads):
+        lines += [
+            "  mov rdi, worker",
+            f"  mov rsi, {i}",
+            "  call thread_create",
+        ]
+    for tid in range(1, threads + 1):
+        lines += [
+            f"  mov rdi, {tid}",
+            "  call thread_join",
+        ]
+    for i in range(threads):
+        for arr in ("xs", "ys", "zs"):
+            lines += [
+                f"  movsd xmm0, [rip + {arr} + {8 * i}]",
+                "  call print_f64",
+            ]
+    lines.append("  hlt")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class _AsmModule:
+    """Just enough module surface for the workload registry: compile()
+    assembles the generated source into a Program."""
+
+    source: str
+
+    def compile(self):
+        from repro.machine.assembler import assemble
+
+        return assemble(self.source)
+
+
+def build(scale: int = 300, threads: int = 4) -> _AsmModule:
+    """``scale`` integration steps per shard across ``threads`` shards
+    (each step is 17 worker-loop instructions, 12 of them FP)."""
+    return _AsmModule(generate_source(scale, threads))

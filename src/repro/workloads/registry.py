@@ -12,6 +12,7 @@ from repro.workloads import (
     fbench as _fbench,
     ffbench as _ffbench,
     lorenz as _lorenz,
+    lorenz_mt as _lorenz_mt,
     three_body as _three_body,
 )
 
@@ -24,6 +25,9 @@ class Workload:
     default_scale: int
     description: str
     extra: dict = field(default_factory=dict)
+    #: must run under a Process (multi-threaded: the thread_create /
+    #: thread_join host API only exists there), not a bare CPU.
+    requires_process: bool = False
 
     def build_module(self, scale: int | None = None, **kwargs):
         merged = dict(self.extra)
@@ -66,6 +70,13 @@ _WORKLOADS = {
             "enzo", "Enzo", _enzo.build, 24,
             "mini-Enzo hydro (Sod tube, HLL): many distinct short "
             "sequences, big arrays, more GC",
+        ),
+        Workload(
+            "lorenz_mt", "Lorenz MT", _lorenz_mt.build, 300,
+            "Lorenz trajectory ensemble sharded across pthread-style "
+            "workers (requires a Process for the thread host API)",
+            extra={"threads": 4},
+            requires_process=True,
         ),
     ]
 }

@@ -7,10 +7,12 @@ import pytest
 from repro.conformance import faults
 from repro.errors import (
     BoxHeapExhaustedError,
+    DeadlockError,
     DecodeCacheCorruptionError,
     DeviceProtocolError,
     FPVMFaultError,
     MagicPageCorruptionError,
+    StepLimitError,
     TrapStormError,
 )
 from repro.kernel.fpvm_dev import FPVMDeviceError
@@ -27,6 +29,8 @@ EXPECTED = {
     "box_heap_exhaustion": (False, BoxHeapExhaustedError),
     "device_registration_revoked": (True, None),
     "device_entry_clobbered": (False, FPVMDeviceError),
+    "scheduler_deadlock": (False, DeadlockError),
+    "scheduler_step_limit": (False, StepLimitError),
 }
 
 
@@ -58,7 +62,7 @@ def test_trap_storm_is_not_triggered_by_honest_loops():
 def test_fault_error_hierarchy():
     for cls in (TrapStormError, MagicPageCorruptionError,
                 DecodeCacheCorruptionError, BoxHeapExhaustedError,
-                DeviceProtocolError):
+                DeviceProtocolError, DeadlockError, StepLimitError):
         assert issubclass(cls, FPVMFaultError)
         assert issubclass(cls, RuntimeError)
         assert cls.fault != FPVMFaultError.fault

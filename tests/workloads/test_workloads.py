@@ -8,11 +8,28 @@ import pytest
 from repro.core.vm import FPVM, FPVMConfig
 from repro.kernel.kernel import LinuxKernel
 from repro.machine.cpu import CPU
+from repro.machine.process import Process
 from repro.workloads import WORKLOAD_NAMES, build_program, get_workload
 
 
-def run_native(name: str, scale: int | None = None, **kw) -> CPU:
-    cpu = CPU(build_program(name, scale, **kw))
+class _ProcessShim:
+    """Expose a finished Process run through the CPU-result surface the
+    assertions below use (output / halted / instruction_count)."""
+
+    def __init__(self, proc: Process):
+        self.output = proc.main.output
+        self.halted = all(t.halted for t in proc.threads)
+        self.instruction_count = sum(t.instruction_count for t in proc.threads)
+
+
+def run_native(name: str, scale: int | None = None, **kw):
+    prog = build_program(name, scale, **kw)
+    if get_workload(name).requires_process:
+        proc = Process(prog)
+        proc.kernel = LinuxKernel()
+        proc.run()
+        return _ProcessShim(proc)
+    cpu = CPU(prog)
     cpu.kernel = LinuxKernel()
     cpu.run()
     return cpu
@@ -20,8 +37,13 @@ def run_native(name: str, scale: int | None = None, **kw) -> CPU:
 
 def run_virtualized(name: str, config: FPVMConfig, scale: int | None = None, **kw):
     prog = build_program(name, scale, **kw)
-    cpu = CPU(prog)
     kernel = LinuxKernel()
+    if get_workload(name).requires_process:
+        proc = Process(prog)
+        vm = FPVM(config).attach_process(proc, kernel)
+        proc.run()
+        return _ProcessShim(proc), vm
+    cpu = CPU(prog)
     cpu.kernel = kernel
     vm = FPVM(config).attach(cpu, kernel)
     cpu.run()
@@ -29,9 +51,10 @@ def run_virtualized(name: str, config: FPVMConfig, scale: int | None = None, **k
 
 
 class TestRegistry:
-    def test_six_workloads(self):
+    def test_seven_workloads(self):
         assert set(WORKLOAD_NAMES) == {
             "lorenz", "three_body", "double_pendulum", "fbench", "ffbench", "enzo",
+            "lorenz_mt",
         }
 
     def test_unknown_rejected(self):
