@@ -1,12 +1,16 @@
 """Host-throughput benchmark for the micro-op pipeline.
 
-Runs each workload twice — micro-op pipeline OFF (the seed single-step
-interpreter) and ON — asserts the simulated results are bit-identical
-(cycles, instruction count, stdout), and reports host wall-clock
-guest-instructions/sec for both, writing ``BENCH_pipeline.json``.
-Multi-threaded workloads (``lorenz_mt``) run under the Process
-scheduler, comparing batched superblock quanta against the seed
-step-wise scheduler with per-thread cycle/trap parity checks.
+Runs each workload three times — micro-op pipeline OFF (the seed
+single-step interpreter), ON with cross-quantum chaining disabled, and
+ON with chaining — asserts the simulated results are bit-identical
+across all tiers (cycles, instruction count, stdout), and reports host
+wall-clock guest-instructions/sec for each, writing
+``BENCH_pipeline.json``.  Multi-threaded workloads (``lorenz_mt``) run
+under the Process scheduler, comparing batched superblock quanta
+against the seed step-wise scheduler with per-thread cycle/trap parity
+checks.  Chained rows on the lorenz workloads must report a non-zero
+link count, so a silently disabled chain tier fails loudly instead of
+benchmarking the unchained engine twice.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick] [--out PATH]
@@ -48,44 +52,66 @@ def _thread_fingerprint(result) -> list | None:
     ]
 
 
+#: tier label -> (uops, chain) runner flags.
+TIERS = {
+    "interp": (False, False),
+    "uops": (True, False),
+    "chained": (True, True),
+}
+
+
 def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
     """Best-of-``reps`` for each tier, with result-equality checks."""
     runner = (run_native_process if get_workload(workload).requires_process
               else run_native)
     runs = {}
-    for label, uops in (("interp", False), ("uops", True)):
+    for label, (uops, chain) in TIERS.items():
         best = None
         for _ in range(reps):
-            result = runner(workload, scale, uops=uops)
+            result = runner(workload, scale, uops=uops, chain=chain)
             if best is None or result.host.seconds < best.host.seconds:
                 best = result
         runs[label] = best
 
-    interp, uops = runs["interp"], runs["uops"]
-    identical = (
-        interp.cycles == uops.cycles
-        and interp.instructions == uops.instructions
-        and interp.output == uops.output
-        and _thread_fingerprint(interp) == _thread_fingerprint(uops)
-    )
-    if not identical:
+    interp = runs["interp"]
+    for label in ("uops", "chained"):
+        other = runs[label]
+        identical = (
+            interp.cycles == other.cycles
+            and interp.instructions == other.instructions
+            and interp.output == other.output
+            and _thread_fingerprint(interp) == _thread_fingerprint(other)
+        )
+        if not identical:
+            raise AssertionError(
+                f"{workload}: {label} tier diverged from the interpreter "
+                f"(cycles {interp.cycles} vs {other.cycles}, "
+                f"instructions {interp.instructions} vs {other.instructions})"
+            )
+
+    uops, chained = runs["uops"], runs["chained"]
+    chain_stats = chained.host.chain or {}
+    if workload.startswith("lorenz") and not chain_stats.get("links_followed"):
         raise AssertionError(
-            f"{workload}: uop pipeline diverged from the interpreter "
-            f"(cycles {interp.cycles} vs {uops.cycles}, "
-            f"instructions {interp.instructions} vs {uops.instructions})"
+            f"{workload}: chained tier followed zero links "
+            f"(chain telemetry: {chain_stats}) — chaining is silently off"
         )
     row = {
         "workload": workload,
         "scale": scale,
         "instructions": uops.instructions,
         "simulated_cycles": uops.cycles,
-        "identical_results": identical,
+        "identical_results": True,
         "interp_seconds": interp.host.seconds,
         "interp_ips": interp.host.ips,
         "uops_seconds": uops.host.seconds,
         "uops_ips": uops.host.ips,
         "speedup": interp.host.seconds / uops.host.seconds,
+        "chained_seconds": chained.host.seconds,
+        "chained_ips": chained.host.ips,
+        "chain_speedup": interp.host.seconds / chained.host.seconds,
         "uop_stats": uops.host.uop_stats,
+        "chain_stats": chain_stats,
     }
     if uops.host.sched is not None:
         row["sched"] = uops.host.sched
@@ -108,8 +134,10 @@ def main(argv: list[str] | None = None) -> int:
         row = bench_one(workload, scale, args.reps)
         results.append(row)
         print(f"{workload:>10}: interp {row['interp_ips']:>10,.0f} i/s | "
-              f"uops {row['uops_ips']:>10,.0f} i/s | "
-              f"speedup {row['speedup']:.2f}x | identical={row['identical_results']}")
+              f"uops {row['uops_ips']:>10,.0f} i/s ({row['speedup']:.2f}x) | "
+              f"chained {row['chained_ips']:>10,.0f} i/s "
+              f"({row['chain_speedup']:.2f}x) | "
+              f"identical={row['identical_results']}")
 
     doc = {
         "benchmark": "uop_pipeline",
@@ -119,10 +147,12 @@ def main(argv: list[str] | None = None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "results": results,
         "min_speedup": min(r["speedup"] for r in results),
+        "min_chain_speedup": min(r["chain_speedup"] for r in results),
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"wrote {args.out} (min speedup {doc['min_speedup']:.2f}x)")
+    print(f"wrote {args.out} (min speedup {doc['min_speedup']:.2f}x, "
+          f"min chain speedup {doc['min_chain_speedup']:.2f}x)")
     return 0
 
 

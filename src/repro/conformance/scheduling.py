@@ -10,11 +10,12 @@ every guest-visible observable — stdout, the per-thread
 cycle/instruction/trap ledgers, the order joins were satisfied, the
 final-memory digest, and total simulated cycles.
 
-:func:`sweep` runs the axis over each program × attach mode × quantum,
-batched (``uops=True``) against stepwise (``uops=False``), plus a
-cross-quantum check that the batched runs agree with *each other*: the
-axis programs synchronize only through ``thread_join``, so their
-results must not depend on the scheduling granularity either.
+:func:`sweep` runs the axis over each program × attach mode × quantum
+× engine tier — batched superblocks with cross-quantum chaining off
+(``batched``) and on (``chained``) — against the stepwise seed, plus a
+cross-quantum check per tier that the batched runs agree with *each
+other*: the axis programs synchronize only through ``thread_join``, so
+their results must not depend on the scheduling granularity either.
 """
 
 from __future__ import annotations
@@ -34,6 +35,18 @@ from repro.workloads import build_program
 #: boundaries and the engine falls back to single-stepping at the
 #: budget edge), and the scheduler default (64).
 QUANTA = (1, 7, 64)
+
+#: engine tiers swept against the stepwise seed: tier label -> the
+#: ``chain`` flag handed to :class:`Process` (both run ``uops=True``;
+#: ``chained`` additionally follows direct-jump links across cached
+#: superblocks inside a quantum).
+TIERS = {"batched": False, "chained": True}
+
+
+def cell_count() -> int:
+    """Number of cells :func:`sweep` emits — per program × mode × tier,
+    one cell per quantum plus the cross-quantum agreement check."""
+    return len(PROGRAMS) * len(ATTACH_MODES) * len(TIERS) * (len(QUANTA) + 1)
 
 
 def _staggered_source(threads: int = 3, base: int = 24) -> str:
@@ -135,11 +148,12 @@ def run_schedule(
     uops: bool,
     mode: str = "native",
     max_steps: int = oracle.DEFAULT_MAX_STEPS,
+    chain: bool | None = None,
 ) -> dict:
     """One run of ``factory()`` under the given quantum/tier/mode,
     returning its :func:`process_fingerprint`."""
     config_factory = ATTACH_MODES[mode]
-    proc = Process(factory(), uops=uops)
+    proc = Process(factory(), uops=uops, chain=chain)
     kernel = LinuxKernel()
     vm = None
     if config_factory is None:
@@ -153,18 +167,19 @@ def run_schedule(
 @dataclass
 class SchedCheck:
     """One cell of the axis.  ``quantum == 0`` marks the cross-quantum
-    agreement check over the batched runs."""
+    agreement check over that tier's batched runs."""
 
     program: str
     mode: str
     quantum: int
     ok: bool
     detail: str = ""
+    tier: str = "batched"
 
     @property
     def label(self) -> str:
         q = f"q={self.quantum}" if self.quantum else "cross-quantum"
-        return f"{self.program}/{self.mode}/{q}"
+        return f"{self.program}/{self.mode}/{self.tier}/{q}"
 
     def __str__(self) -> str:
         return f"{self.label}: {'ok' if self.ok else 'FAIL ' + self.detail}"
@@ -175,8 +190,8 @@ def _diff_keys(a: dict, b: dict) -> list[str]:
 
 
 def sweep(progress=None) -> list[SchedCheck]:
-    """The full axis: every program × mode × quantum, batched vs
-    stepwise, plus the cross-quantum batched agreement check."""
+    """The full axis: every program × mode × quantum × tier, each tier
+    vs stepwise, plus each tier's cross-quantum agreement check."""
     checks: list[SchedCheck] = []
 
     def emit(check: SchedCheck) -> None:
@@ -186,33 +201,41 @@ def sweep(progress=None) -> list[SchedCheck]:
 
     for pname, factory in PROGRAMS.items():
         for mode in ATTACH_MODES:
-            batched: dict[int, dict] = {}
+            tiered: dict[str, dict[int, dict]] = {t: {} for t in TIERS}
             for quantum in QUANTA:
+                # one stepwise reference run shared by every tier.
                 stepwise = run_schedule(factory, quantum, uops=False, mode=mode)
-                batched[quantum] = run_schedule(factory, quantum, uops=True,
-                                                mode=mode)
-                bad = _diff_keys(stepwise, batched[quantum])
-                emit(SchedCheck(
-                    pname, mode, quantum, not bad,
-                    "" if not bad else "batched != stepwise in: " + ", ".join(bad),
-                ))
+                for tier, chain in TIERS.items():
+                    got = run_schedule(factory, quantum, uops=True,
+                                       mode=mode, chain=chain)
+                    tiered[tier][quantum] = got
+                    bad = _diff_keys(stepwise, got)
+                    emit(SchedCheck(
+                        pname, mode, quantum, not bad,
+                        "" if not bad
+                        else f"{tier} != stepwise in: " + ", ".join(bad),
+                        tier=tier,
+                    ))
             # Across quanta only the guest-visible *result* is pinned:
             # join park order and per-thread cycle/trap attribution are
             # scheduling observables (e.g. whichever thread reaches a
             # shared patch site first pays its promotion), so they vary
             # with the quantum — which is exactly why the cells above
             # compare batched vs stepwise at *equal* quantum.
-            first = batched[QUANTA[0]]
-            bad = sorted({
-                key
-                for quantum in QUANTA[1:]
-                for key in _diff_keys(first, batched[quantum])
-                if key in ("output", "digest")
-            })
-            emit(SchedCheck(
-                pname, mode, 0, not bad,
-                "" if not bad else "quantum-dependent results in: " + ", ".join(bad),
-            ))
+            for tier, by_quantum in tiered.items():
+                first = by_quantum[QUANTA[0]]
+                bad = sorted({
+                    key
+                    for quantum in QUANTA[1:]
+                    for key in _diff_keys(first, by_quantum[quantum])
+                    if key in ("output", "digest")
+                })
+                emit(SchedCheck(
+                    pname, mode, 0, not bad,
+                    "" if not bad
+                    else "quantum-dependent results in: " + ", ".join(bad),
+                    tier=tier,
+                ))
     return checks
 
 

@@ -57,9 +57,9 @@ def cmd_conformance(args) -> int:
         failed |= not report.ok
 
     if not (args.faults_only or args.matrix_only):
-        n_cells = len(scheduling.PROGRAMS) * len(scheduling.ATTACH_MODES) * (
-            len(scheduling.QUANTA) + 1)
-        print(f"== scheduling axis (batched vs stepwise, {n_cells} cells) ==")
+        n_cells = scheduling.cell_count()
+        print(f"== scheduling axis (batched/chained vs stepwise, "
+              f"{n_cells} cells) ==")
         progress = None
         if args.verbose:
             progress = lambda c: print(f"  done {c.label}")

@@ -40,6 +40,9 @@ class HostPerf:
     #: scheduler-level telemetry (SchedulerStats.as_dict()): dispatches,
     #: steps, and quantum efficiency = instructions retired per dispatch.
     sched: dict | None = None
+    #: cross-quantum chaining summary (telemetry.aggregate_chain_stats):
+    #: link/unlink counters, chain-length histogram, cache state.
+    chain: dict | None = None
 
     @property
     def ips(self) -> float:
@@ -102,13 +105,28 @@ class Comparison:
         return self.runs[config_name].cycles / self.lower_bound_cycles(config_name)
 
 
+def _cpu_chain_summary(cpu) -> dict | None:
+    """Chain telemetry for a standalone CPU run, if the pipeline ran."""
+    from repro.core.telemetry import aggregate_chain_stats
+
+    stats = cpu.uop_stats
+    if stats is None:
+        return None
+    cache = cpu._sb_cache
+    return aggregate_chain_stats(
+        [stats.as_dict()],
+        cache.as_dict() if cache is not None else None,
+    )
+
+
 def run_native(
     workload: str,
     scale: int | None = None,
     uops: bool | None = None,
+    chain: bool | None = None,
     **kw,
 ) -> NativeResult:
-    cpu = CPU(build_program(workload, scale, **kw), uops=uops)
+    cpu = CPU(build_program(workload, scale, **kw), uops=uops, chain=chain)
     cpu.kernel = LinuxKernel()
     t0 = time.perf_counter()
     cpu.run()
@@ -118,6 +136,7 @@ def run_native(
         seconds=seconds,
         instructions=cpu.instruction_count,
         uop_stats=stats.as_dict() if stats is not None else None,
+        chain=_cpu_chain_summary(cpu),
     )
     return NativeResult(workload, cpu.cycles, cpu.instruction_count,
                         list(cpu.output), host=host)
@@ -150,12 +169,19 @@ def _process_host_perf(proc, seconds: float) -> HostPerf:
         })
     total_instructions = sum(t.instruction_count for t in proc.threads)
     main_stats = proc.main.uop_stats
+    from repro.core.telemetry import aggregate_chain_stats
+
+    per_thread_stats = [t.uop_stats.as_dict() for t in proc.threads
+                        if t.uop_stats is not None]
+    chain = (aggregate_chain_stats(per_thread_stats, proc.sb_cache.as_dict())
+             if per_thread_stats else None)
     return HostPerf(
         seconds=seconds,
         instructions=total_instructions,
         uop_stats=main_stats.as_dict() if main_stats is not None else None,
         threads=threads,
         sched=sched.as_dict(),
+        chain=chain,
     )
 
 
@@ -163,6 +189,7 @@ def run_native_process(
     workload: str,
     scale: int | None = None,
     uops: bool | None = None,
+    chain: bool | None = None,
     quantum: int = 64,
     **kw,
 ) -> NativeResult:
@@ -171,7 +198,8 @@ def run_native_process(
     pipeline unless ``uops=False``."""
     from repro.machine.process import Process
 
-    proc = Process(build_program(workload, scale, **kw), uops=uops)
+    proc = Process(build_program(workload, scale, **kw), uops=uops,
+                   chain=chain)
     proc.kernel = LinuxKernel()
     t0 = time.perf_counter()
     proc.run(quantum=quantum)
@@ -186,6 +214,7 @@ def run_fpvm_process(
     config: FPVMConfig,
     config_name: str = "",
     scale: int | None = None,
+    chain: bool | None = None,
     quantum: int = 64,
     **kw,
 ) -> FPVMResult:
@@ -194,7 +223,7 @@ def run_fpvm_process(
     from repro.machine.process import Process
 
     program = build_program(workload, scale, **kw)
-    proc = Process(program)
+    proc = Process(program, chain=chain)
     kernel = LinuxKernel()
     vm = FPVM(config).attach_process(proc, kernel)
     t0 = time.perf_counter()
@@ -227,12 +256,13 @@ def run_fpvm(
     config_name: str = "",
     scale: int | None = None,
     patch_sites: frozenset | None = None,
+    chain: bool | None = None,
     **kw,
 ) -> FPVMResult:
     program = build_program(workload, scale, **kw)
     if patch_sites is not None and config.patch_sites is None:
         config = config.with_(patch_sites=patch_sites)
-    cpu = CPU(program)
+    cpu = CPU(program, chain=chain)
     kernel = LinuxKernel()
     cpu.kernel = kernel
     vm = FPVM(config).attach(cpu, kernel)
@@ -247,6 +277,7 @@ def run_fpvm(
         uop_stats=stats.as_dict() if stats is not None else None,
         compiled_traces=t.compiled_traces,
         compiled_trace_hits=t.compiled_trace_hits,
+        chain=_cpu_chain_summary(cpu),
     )
     return FPVMResult(
         workload=workload,

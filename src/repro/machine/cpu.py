@@ -34,7 +34,7 @@ from repro.machine.isa import (
 from repro.machine.memory import PROT_EXEC, PROT_READ, PROT_WRITE, Memory, PAGE_SIZE
 from repro.machine.program import PatchKind, Program, STACK_TOP
 from repro.machine.registers import Flags, RegisterFile, rounding_mode, unmasked_status
-from repro.machine.uops import uops_enabled_default
+from repro.machine.uops import chain_enabled_default, uops_enabled_default
 
 U64 = 0xFFFF_FFFF_FFFF_FFFF
 #: Return address sentinel: a ``ret`` to this address halts the machine.
@@ -72,8 +72,10 @@ class CPU:
         costs: CostModel = DEFAULT_COSTS,
         max_instructions: int = 100_000_000,
         uops: bool | None = None,
+        chain: bool | None = None,
     ):
-        self._init_core(program, costs, max_instructions, uops=uops)
+        self._init_core(program, costs, max_instructions, uops=uops,
+                        chain=chain)
         self.mem = Memory()
         self._load_image()
 
@@ -83,6 +85,7 @@ class CPU:
         costs: CostModel = DEFAULT_COSTS,
         max_instructions: int = 100_000_000,
         uops: bool | None = None,
+        chain: bool | None = None,
     ) -> None:
         """Initialise every per-core field *except* memory and the loaded
         image.  ``__init__`` and :meth:`repro.machine.process.Process.spawn`
@@ -130,6 +133,16 @@ class CPU:
         #: FPVM_UOPS environment knob; semantics are identical either
         #: way — the engine falls back to step() wherever it must.
         self.uops_enabled = uops_enabled_default() if uops is None else uops
+        #: follow direct control edges between cached superblocks
+        #: (cross-quantum chaining) instead of returning to the engine
+        #: loop at every tail.  FPVM_CHAIN environment knob; only
+        #: meaningful with ``uops_enabled``.
+        self.chain_enabled = chain_enabled_default() if chain is None else chain
+        #: the SuperblockCache holding this core's blocks.  A Process
+        #: installs its shared per-process cache here (one patch-epoch
+        #: mirror for all threads) before the engine is created; left
+        #: None, the engine creates a private one on first use.
+        self._sb_cache = None
         self._uop_engine = None
         self._dispatch = self._build_dispatch()
 

@@ -40,16 +40,26 @@ class Process:
         costs=None,
         max_instructions: int = 100_000_000,
         uops: bool | None = None,
+        chain: bool | None = None,
     ):
         from repro.machine.costs import DEFAULT_COSTS
         from repro.core.telemetry import SchedulerStats
+        from repro.machine.uops import SuperblockCache
 
         self.program = program
         self.costs = costs or DEFAULT_COSTS
         self.max_instructions = max_instructions
-        main = CPU(program, self.costs, max_instructions, uops=uops)
+        main = CPU(program, self.costs, max_instructions, uops=uops,
+                   chain=chain)
         main.tid = 0
         main.process = self
+        #: the process-wide superblock cache: one object — one
+        #: ``patch_epoch`` mirror — shared by every thread CPU, so a
+        #: patch made by any thread invalidates every thread's cached
+        #: blocks (and chain links) at once.  Installed on each CPU
+        #: before its engine exists (engines capture it at creation).
+        self.sb_cache = SuperblockCache()
+        main._sb_cache = self.sb_cache
         self.threads: list[CPU] = [main]
         self.mem = main.mem
         self._joins: dict[int, int] = {}  # waiting tid -> awaited tid
@@ -93,11 +103,13 @@ class Process:
             self.costs,
             self.max_instructions,
             uops=self.main.uops_enabled,
+            chain=self.main.chain_enabled,
         )
         thread.mem = self.mem                      # shared address space
         thread.output = self.main.output           # shared stdout
         thread.kernel = self.main.kernel
         thread.fp_disabled = self.main.fp_disabled
+        thread._sb_cache = self.sb_cache           # shared block cache
         thread.process = self
 
         rsp = self._next_stack - 64
@@ -246,11 +258,14 @@ def fork_process(parent: Process) -> Process:
     FPVM's constructors re-run via the returned process's spawn hooks
     (the caller re-attaches, as the real LD_PRELOAD constructor does).
     """
+    # The child gets its *own* SuperblockCache: it executes a copied
+    # Program whose patch state diverges from the parent's.
     child = Process(
         parent.program.copy(),
         parent.costs,
         parent.max_instructions,
         uops=parent.main.uops_enabled,
+        chain=parent.main.chain_enabled,
     )
     child.mem.clone_pages(parent.mem)
     # Post-fork threads must not collide with stacks carved pre-fork.

@@ -27,6 +27,33 @@ Semantics are bit-for-bit the seed interpreter's:
 - the fast scalar FP helpers are bit-exact against
   :func:`repro.machine.hostfp.native_fp` (NaN-operand and
   divide-by-zero cases defer to it outright).
+
+Cross-quantum chaining (this PR's throughput lever): after a
+superblock's chainable control tail runs, the engine follows the edge
+through a per-block link cache — keyed on the *runtime* post-tail RIP,
+so indirect and name-resolved targets chain too — and keeps retiring
+blocks, a trace of blocks per dispatch, instead of returning to the
+engine loop at every control tail.  Chainable tails are those that
+cannot run host code (``jmp``/``jcc`` in any form, ``ret`` with a
+post-tail halt re-check, and ``call``\\ s statically known to target
+guest text), so the engine-loop re-checks the chain skips are
+redundant by construction; host-function calls, patch sites, SLOW
+fallbacks, and budget edges break the chain back to the engine loop.
+Retire accounting inside a chain is batched into per-block run counts
+and settled when the chain ends (or eagerly before anything that can
+observe the counters).  At a quantum's budget edge the chaining tier
+retires a block body's fitting *prefix* through the pipeline — every
+closure is one seed step and leaves RIP correct, so the next quantum
+resumes mid-block via a suffix block — rather than degrading to the
+seed single-step path.  Chain dispatch has a fixed entry cost that
+only amortizes over long traces or repeated blocks, so roots that
+repeatedly produce short chains (without the quantum budget being the
+cutter) are *demoted* — LuaJIT-style trace-root blacklisting via
+``Superblock.chain_root`` — and the engine loop stops starting chains
+there while still letting chains pass through them.  Block caches live
+in one per-process :class:`SuperblockCache` shared by every thread,
+invalidated wholesale — links, demotion state included — whenever
+``patch_epoch`` moves.
 """
 
 from __future__ import annotations
@@ -81,6 +108,13 @@ def uops_enabled_default() -> bool:
     """The ``FPVM_UOPS`` escape hatch: set to ``0`` to force the seed
     single-step interpreter everywhere (differential debugging)."""
     return os.environ.get("FPVM_UOPS", "1").strip().lower() not in _FALSEY
+
+
+def chain_enabled_default() -> bool:
+    """The ``FPVM_CHAIN`` escape hatch: set to ``0`` to keep the uop
+    pipeline but return to the engine loop at every control tail
+    (isolates chaining bugs from superblock bugs)."""
+    return os.environ.get("FPVM_CHAIN", "1").strip().lower() not in _FALSEY
 
 
 # ------------------------------------------------------- emulator metadata
@@ -1220,15 +1254,75 @@ def bind_control(uop: MicroOp, cpu):
     return run_jcc
 
 
+def _tail_chain_grade(uop: MicroOp, prog) -> int:
+    """How the chain dispatcher may follow this control tail:
+    0 = not chainable, 1 = chain freely, 2 = chain after re-checking
+    ``cpu.halted`` (ret's return sentinel).
+
+    Chain links key on the *runtime* post-tail RIP, so indirectness is
+    not a problem — a register-target or name-resolved ``jmp``/``jcc``
+    produces some address and the dispatcher looks it up live (a
+    rebound symbol simply links to the new target's block; decoded text
+    never changes without a patch-epoch bump).  What disqualifies a
+    tail is the ability to run *host* code — host-function calls can
+    patch, block, rebind, and move the epoch — so only ``call``\\ s
+    whose target is statically known to be guest text chain (an
+    indirect or name-resolved call may resolve to a host function).
+    ``ret`` can halt, which grade 2 re-checks after the tail runs."""
+    mn = uop.mnemonic
+    if mn == "jmp" or mn in CONDITION_CODES:
+        return 1
+    if mn == "ret":
+        return 2
+    if mn == "call":
+        ops = uop.instr.operands
+        op = ops[0] if ops else None
+        if (isinstance(op, Label) and op.addr is not None
+                and op.addr != -1 and op.addr not in prog.host_functions):
+            return 1
+    return 0
+
+
+#: A chain shorter than this many blocks (root included) did not cover
+#: the chain dispatcher's fixed entry cost.  Budget-cut chains are not
+#: counted — the quantum ended the trace, not the program's structure.
+CHAIN_SHORT_LEN = 6
+
+#: Consecutive short chains from one root before it is demoted
+#: (``chain_root = False``) and entry falls back to the engine loop.
+CHAIN_DEMOTE_AFTER = 4
+
+
 # -------------------------------------------------------------- superblock
 class Superblock:
     """A straight-line run of bound micro-ops plus an optional control
-    tail, with prefix cost sums for batched retire accounting."""
+    tail, with prefix cost sums for batched retire accounting.
+
+    ``chainable`` marks tails the chain dispatcher may follow without
+    re-entering the engine loop (see :func:`_tail_chain_grade`): any
+    ``jmp``/``jcc``, ``ret`` (with ``chain_check`` set — the dispatcher
+    re-checks ``cpu.halted`` after it), or a ``call`` statically known
+    to target guest text.  Such tails cannot patch, block, or run host
+    code, so no engine-loop re-check is needed between the tail and the
+    next block.  ``links`` is the per-edge link cache: post-tail RIP ->
+    next Superblock, populated lazily by the chain dispatcher and
+    dropped wholesale with the block cache.
+
+    ``chain_root`` gates *starting* a chain here (continuing through
+    the block mid-chain only needs ``chainable``).  A chain entry has
+    fixed dispatch cost that only pays off over enough linked blocks;
+    roots whose chains come up structurally short
+    (< :data:`CHAIN_SHORT_LEN` blocks, not counting budget cuts)
+    :data:`CHAIN_DEMOTE_AFTER` times in a row are demoted — the
+    trace-root blacklisting of trace JITs — and fall back to plain
+    engine-loop dispatch until the block cache is rebuilt."""
 
     __slots__ = ("entry", "body", "classes", "class_counts", "prefix_cost",
-                 "n_body", "tail", "tail_addr")
+                 "n_body", "tail", "tail_addr", "chainable", "chain_check",
+                 "links", "chain_root", "chain_shorts")
 
-    def __init__(self, entry, body, classes, prefix_cost, tail, tail_addr):
+    def __init__(self, entry, body, classes, prefix_cost, tail, tail_addr,
+                 chain_grade=0):
         self.entry = entry
         self.body = body
         self.classes = classes
@@ -1237,18 +1331,103 @@ class Superblock:
         self.n_body = len(body)
         self.tail = tail
         self.tail_addr = tail_addr
+        self.chainable = chain_grade > 0
+        self.chain_check = chain_grade == 2
+        self.links: dict[int, "Superblock"] = {}
+        self.chain_root = True
+        self.chain_shorts = 0
+
+
+class SuperblockCache:
+    """The per-process superblock cache: one object shared by every
+    thread CPU of a :class:`~repro.machine.process.Process` (a
+    standalone CPU owns a private one).
+
+    Superblock bodies are closures bound over one CPU's registers and
+    memory accessors, so the blocks themselves cannot be shared across
+    threads; what *is* shared is the invalidation state — a single
+    ``epoch`` mirror of ``Program.patch_epoch`` and wholesale eviction
+    of every thread's view (chain links included) the moment any
+    thread's patch activity moves the epoch.  Before this object
+    existed, each engine carried its own epoch sentinel; a patch made
+    by thread A left thread B's blocks cached until B's engine happened
+    to re-check — tolerable only because every dispatch re-entered the
+    engine loop, a property cross-quantum chaining removes.
+    """
+
+    __slots__ = ("views", "epoch", "capacity", "cached_blocks",
+                 "invalidations", "evictions", "unlinks")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        #: id(cpu) -> {entry: Superblock} — cleared in place, never
+        #: rebound, because engines hold direct references.
+        self.views: dict[int, dict[int, Superblock]] = {}
+        self.epoch: int | None = None
+        self.capacity = capacity
+        self.cached_blocks = 0
+        #: epoch flushes that actually dropped cached blocks.
+        self.invalidations = 0
+        #: capacity evictions (wholesale, like the epoch flush).
+        self.evictions = 0
+        #: chain-graph edges destroyed by flushes/evictions.
+        self.unlinks = 0
+
+    def view(self, cpu) -> dict[int, Superblock]:
+        """The per-thread entry->Superblock map for ``cpu``."""
+        return self.views.setdefault(id(cpu), {})
+
+    def _drop_all(self) -> None:
+        for view in self.views.values():
+            for blk in view.values():
+                self.unlinks += len(blk.links)
+            view.clear()
+        self.cached_blocks = 0
+
+    def sync(self, program) -> bool:
+        """Mirror ``program.patch_epoch``; on any movement drop every
+        thread's blocks (and their chain links) at once.  Returns True
+        when cached state was actually invalidated."""
+        epoch = program.patch_epoch
+        if epoch == self.epoch:
+            return False
+        stale = self.epoch is not None and self.cached_blocks > 0
+        if stale:
+            self.invalidations += 1
+        self._drop_all()
+        self.epoch = epoch
+        return stale
+
+    def evict_all(self) -> None:
+        """Drop everything to bound the cache (counts as an eviction,
+        not an invalidation)."""
+        self.evictions += 1
+        self._drop_all()
+
+    def as_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "cached_blocks": self.cached_blocks,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "unlinks": self.unlinks,
+        }
 
 
 class UopStats:
     """Host-side execution counters for the throughput layer."""
 
-    __slots__ = ("blocks_built", "block_runs", "uops_retired",
-                 "slow_fallbacks", "single_steps",
-                 "quantum_dispatches", "quantum_exits")
+    __slots__ = ("blocks_built", "block_runs", "partial_block_runs",
+                 "uops_retired", "slow_fallbacks", "single_steps",
+                 "quantum_dispatches", "quantum_exits",
+                 "links_created", "links_followed", "chain_runs",
+                 "chain_breaks", "chain_lengths", "chain_demotions")
 
     def __init__(self) -> None:
         self.blocks_built = 0
         self.block_runs = 0
+        #: bodies whose fitting *prefix* was retired through the
+        #: pipeline at a quantum budget edge (chaining tier only).
+        self.partial_block_runs = 0
         self.uops_retired = 0
         self.slow_fallbacks = 0
         self.single_steps = 0
@@ -1256,6 +1435,20 @@ class UopStats:
         self.quantum_dispatches = 0
         #: why each quantum ended: budget / halted / blocked.
         self.quantum_exits: Counter = Counter()
+        #: chain edges installed in a block's link cache.
+        self.links_created = 0
+        #: chain edges actually followed (committed to execute).
+        self.links_followed = 0
+        #: dispatches that followed at least one chain edge.
+        self.chain_runs = 0
+        #: why chains ended: patch / budget / slow / empty / notail /
+        #: halt / unchainable.
+        self.chain_breaks: Counter = Counter()
+        #: histogram: blocks retired per chaining dispatch (>= 2).
+        self.chain_lengths: Counter = Counter()
+        #: roots blacklisted after consecutive structurally short
+        #: chains (see :data:`CHAIN_SHORT_LEN`).
+        self.chain_demotions = 0
 
     @property
     def uop_hit_rate(self) -> float:
@@ -1268,25 +1461,56 @@ class UopStats:
         return {
             "blocks_built": self.blocks_built,
             "block_runs": self.block_runs,
+            "partial_block_runs": self.partial_block_runs,
             "uops_retired": self.uops_retired,
             "slow_fallbacks": self.slow_fallbacks,
             "single_steps": self.single_steps,
             "uop_hit_rate": self.uop_hit_rate,
             "quantum_dispatches": self.quantum_dispatches,
             "quantum_exits": dict(self.quantum_exits),
+            "links_created": self.links_created,
+            "links_followed": self.links_followed,
+            "chain_runs": self.chain_runs,
+            "chain_breaks": dict(self.chain_breaks),
+            "chain_lengths": dict(self.chain_lengths),
+            "chain_demotions": self.chain_demotions,
         }
 
 
 class UopEngine:
     """Per-CPU fetch/dispatch/execute engine running cached superblocks
     with single-step fallback at traps, patch sites, and anything a
-    closure cannot execute (the :data:`SLOW` protocol)."""
+    closure cannot execute (the :data:`SLOW` protocol).
+
+    Block storage lives in the CPU's :class:`SuperblockCache` (shared
+    by every thread of a process); the engine holds that cache's
+    per-thread view and, when chaining is enabled, follows direct
+    control edges between cached blocks instead of returning to its
+    loop at every tail."""
 
     def __init__(self, cpu) -> None:
         self.cpu = cpu
-        self._blocks: dict[int, Superblock] = {}
-        self._epoch: int | None = None
+        cache = getattr(cpu, "_sb_cache", None)
+        if cache is None:
+            cache = SuperblockCache()
+            cpu._sb_cache = cache
+        self.cache = cache
+        #: this CPU's entry -> Superblock view of the shared cache.
+        #: The cache clears it *in place*, so this reference never
+        #: goes stale across invalidations.
+        self._blocks = cache.view(cpu)
+        self.chain_enabled = getattr(cpu, "chain_enabled", True)
         self.stats = UopStats()
+
+    def _new_block(self, entry: int) -> Superblock:
+        cache = self.cache
+        if cache.cached_blocks >= cache.capacity:
+            cache.evict_all()
+        block = self._build(entry)
+        self._blocks[entry] = block
+        cache.cached_blocks += 1
+        self.stats.blocks_built += 1
+        return block
 
     # --------------------------------------------------------- main loop
     def run(self, limit: int) -> None:
@@ -1296,16 +1520,16 @@ class UopEngine:
         regs = cpu.regs
         prog = cpu.program
         patches = prog.patches
+        cache = self.cache
         blocks = self._blocks
         stats = self.stats
         step = cpu.step
+        chain_on = self.chain_enabled
         steps = 0
 
         while not cpu.halted:
-            epoch = prog.patch_epoch
-            if epoch != self._epoch:
-                blocks.clear()
-                self._epoch = epoch
+            if prog.patch_epoch != cache.epoch:
+                cache.sync(prog)
 
             rip = regs.rip
             if cpu._suppress_patch_at is not None or rip in patches:
@@ -1318,9 +1542,7 @@ class UopEngine:
 
             block = blocks.get(rip)
             if block is None:
-                block = self._build(rip)
-                blocks[rip] = block
-                stats.blocks_built += 1
+                block = self._new_block(rip)
 
             n = block.n_body
             if n and (limit - steps) >= n:
@@ -1344,6 +1566,9 @@ class UopEngine:
                     stats.uops_retired += 1
                     if steps >= limit:
                         raise MachineError(f"run exceeded {limit} steps (runaway?)")
+                    if (chain_on and block.chainable and block.chain_root
+                            and not (block.chain_check and cpu.halted)):
+                        steps = self._chain_run(block, steps, limit)
                 continue
             if n == 0 and block.tail is not None:
                 block.tail()
@@ -1352,6 +1577,9 @@ class UopEngine:
                 stats.block_runs += 1
                 if steps >= limit:
                     raise MachineError(f"run exceeded {limit} steps (runaway?)")
+                if (chain_on and block.chainable and block.chain_root
+                        and not (block.chain_check and cpu.halted)):
+                    steps = self._chain_run(block, steps, limit)
                 continue
 
             # No runnable block (sys/unmapped/odd shape) or not enough
@@ -1382,9 +1610,11 @@ class UopEngine:
         regs = cpu.regs
         prog = cpu.program
         patches = prog.patches
+        cache = self.cache
         blocks = self._blocks
         stats = self.stats
         step = cpu.step
+        chain_on = self.chain_enabled
         retired = 0
         exit_reason = "budget"
         stats.quantum_dispatches += 1
@@ -1396,10 +1626,8 @@ class UopEngine:
             if cpu.blocked:
                 exit_reason = "blocked"
                 break
-            epoch = prog.patch_epoch
-            if epoch != self._epoch:
-                blocks.clear()
-                self._epoch = epoch
+            if prog.patch_epoch != cache.epoch:
+                cache.sync(prog)
 
             rip = regs.rip
             if cpu._suppress_patch_at is not None or rip in patches:
@@ -1410,9 +1638,7 @@ class UopEngine:
 
             block = blocks.get(rip)
             if block is None:
-                block = self._build(rip)
-                blocks[rip] = block
-                stats.blocks_built += 1
+                block = self._new_block(rip)
 
             n = block.n_body
             if n and (budget - retired) >= n:
@@ -1431,12 +1657,34 @@ class UopEngine:
                     tail()
                     retired += 1
                     stats.uops_retired += 1
+                    if (chain_on and block.chainable and block.chain_root
+                            and not (block.chain_check and cpu.halted)):
+                        retired = self._chain_quantum(block, retired, budget)
                 continue
             if n == 0 and block.tail is not None:
                 block.tail()
                 retired += 1
                 stats.uops_retired += 1
                 stats.block_runs += 1
+                if (chain_on and block.chainable and block.chain_root
+                        and not (block.chain_check and cpu.halted)):
+                    retired = self._chain_quantum(block, retired, budget)
+                continue
+
+            if chain_on and n:
+                # Body doesn't fit the remaining budget: retire the
+                # fitting prefix through the pipeline instead of seed
+                # single-stepping the quantum edge (chaining tier).
+                avail = budget - retired
+                done = self._run_body_partial(cpu, block, avail)
+                retired += done
+                stats.uops_retired += done
+                stats.partial_block_runs += 1
+                if done < avail:
+                    stats.slow_fallbacks += 1
+                    if retired < budget:
+                        step()
+                        retired += 1
                 continue
 
             # No runnable block (sys/unmapped/odd shape) or the body
@@ -1447,6 +1695,312 @@ class UopEngine:
 
         stats.quantum_exits[exit_reason] += 1
         return retired
+
+    # ---------------------------------------------------------- chaining
+    # Both dispatchers are entered right after ``block``'s *chainable*
+    # tail executed, so on entry the CPU is neither halted nor blocked,
+    # ``_suppress_patch_at`` is None, and the patch epoch has not moved
+    # since the engine loop's checkpoint — chainable tails cannot run
+    # host code, so they cannot change any of that (ret can halt, which
+    # ``chain_check`` re-checks right after the tail).  The chain keeps
+    # those invariants by breaking back to the engine loop after
+    # anything that could violate them: a SLOW fallback (the
+    # ``cpu.step()`` may deliver a trap whose handler patches), a
+    # non-chainable tail (host calls can block or patch), a ret that
+    # halted, a patched link target, or an exhausted budget.
+    #
+    # Retire accounting inside a chain is *batched*: body flushes are
+    # deferred into per-block run counts and settled in one pass when
+    # the chain ends — or eagerly, before anything that can observe the
+    # counters runs (the SLOW fallback's cpu.step(), or an exception
+    # propagating out through the ``finally``).  Nothing inside a chain
+    # reads the counters between those points: body closures and
+    # chainable tails touch only architectural state (tails do bump the
+    # counters themselves, which is order-independent integer addition).
+
+    def _chain_flush(self, full_runs, cur, i,
+                     links_followed, block_runs, uops_local) -> None:
+        """Settle a chain's deferred retire accounting: per-block run
+        counts (``full_runs``, cleared in place), plus the in-flight
+        body ``cur`` of which ``i`` micro-ops retired.  A plain method
+        taking explicit state so the dispatchers' hot-loop variables
+        stay function-locals (a nested closure would turn them into
+        cell variables, taxing every access in the block loop)."""
+        cpu = self.cpu
+        rbc = cpu.retired_by_class
+        cycles = 0
+        instrs = 0
+        for blk, count in full_runs.values():
+            cycles += blk.prefix_cost[blk.n_body] * count
+            instrs += blk.n_body * count
+            for cls, cnt in blk.class_counts.items():
+                rbc[cls] += cnt * count
+        full_runs.clear()
+        if cur is not None and i:
+            cycles += cur.prefix_cost[i]
+            instrs += i
+            for cls in cur.classes[:i]:
+                rbc[cls] += 1
+        if cycles:
+            cpu.cycles += cycles
+            cpu.work_cycles += cycles
+        if instrs:
+            cpu.instruction_count += instrs
+        stats = self.stats
+        stats.links_followed += links_followed
+        stats.block_runs += block_runs
+        stats.uops_retired += uops_local
+
+    def _chain_run(self, block: Superblock, steps: int, limit: int) -> int:
+        """Chain dispatch for :meth:`run`: raises MachineError at the
+        step limit exactly like the engine loop's checkpoints.  Returns
+        the updated step count; the engine loop re-checks halt, epoch,
+        and patch state on return."""
+        from repro.machine.cpu import MachineError
+
+        cpu = self.cpu
+        regs = cpu.regs
+        patches = cpu.program.patches
+        blocks = self._blocks
+        stats = self.stats
+        breaks = stats.chain_breaks
+        root = block
+        budget_cut = False
+        links_followed = 0
+        block_runs = 0
+        uops_local = 0
+        full_runs: dict[int, list] = {}  # id(blk) -> [blk, run count]
+        cur: Superblock | None = None    # body in flight (partial flush)
+        i = 0                            # retired uops of cur's body
+        length = 1
+
+        try:
+            while True:
+                rip = regs.rip
+                nxt = block.links.get(rip)
+                if nxt is None:
+                    if rip in patches:
+                        breaks["patch"] += 1
+                        return steps
+                    nxt = blocks.get(rip)
+                    if nxt is None:
+                        nxt = self._new_block(rip)
+                    block.links[rip] = nxt
+                    stats.links_created += 1
+                n = nxt.n_body
+                tail = nxt.tail
+                if n == 0 and tail is None:
+                    breaks["empty"] += 1
+                    return steps
+                if limit - steps < n:
+                    budget_cut = True
+                    breaks["budget"] += 1
+                    return steps
+                links_followed += 1
+                length += 1
+                if n:
+                    cur = nxt
+                    i = 0
+                    for fn in nxt.body:
+                        if fn() is SLOW:
+                            break
+                        i += 1
+                    steps += i
+                    uops_local += i
+                    if i < n:
+                        stats.slow_fallbacks += 1
+                        breaks["slow"] += 1
+                        self._chain_flush(full_runs, cur, i, links_followed,
+                                          block_runs, uops_local)
+                        cur = None
+                        i = 0
+                        links_followed = block_runs = uops_local = 0
+                        cpu.step()
+                        steps += 1
+                        if steps >= limit:
+                            raise MachineError(
+                                f"run exceeded {limit} steps (runaway?)")
+                        return steps
+                    cur = None
+                    e = full_runs.get(id(nxt))
+                    if e is None:
+                        full_runs[id(nxt)] = [nxt, 1]
+                    else:
+                        e[1] += 1
+                    block_runs += 1
+                    if steps >= limit:
+                        raise MachineError(
+                            f"run exceeded {limit} steps (runaway?)")
+                if tail is None:
+                    breaks["notail"] += 1
+                    return steps
+                tail()
+                steps += 1
+                uops_local += 1
+                if n == 0:
+                    block_runs += 1
+                if nxt.chain_check and cpu.halted:
+                    breaks["halt"] += 1
+                    return steps
+                if steps >= limit:
+                    raise MachineError(
+                        f"run exceeded {limit} steps (runaway?)")
+                if not nxt.chainable:
+                    breaks["unchainable"] += 1
+                    return steps
+                block = nxt
+        finally:
+            self._chain_flush(full_runs, cur, i, links_followed,
+                              block_runs, uops_local)
+            if length > 1:
+                stats.chain_runs += 1
+                stats.chain_lengths[length] += 1
+            if length >= CHAIN_SHORT_LEN:
+                root.chain_shorts = 0
+            elif not budget_cut:
+                root.chain_shorts += 1
+                if root.chain_shorts >= CHAIN_DEMOTE_AFTER:
+                    root.chain_root = False
+                    stats.chain_demotions += 1
+
+    def _chain_quantum(self, block: Superblock, retired: int,
+                       budget: int) -> int:
+        """Chain dispatch for :meth:`run_quantum`: never exceeds
+        ``budget``.  At the budget edge a linked body's fitting *prefix*
+        is retired through the pipeline (each body closure is exactly
+        one seed step, and every closure leaves RIP architecturally
+        correct, so stopping mid-block is stopping between steps); the
+        next quantum resumes at the mid-block RIP through a fresh
+        suffix block."""
+        cpu = self.cpu
+        regs = cpu.regs
+        patches = cpu.program.patches
+        blocks = self._blocks
+        stats = self.stats
+        breaks = stats.chain_breaks
+        root = block
+        budget_cut = False
+        links_followed = 0
+        block_runs = 0
+        uops_local = 0
+        full_runs: dict[int, list] = {}
+        cur: Superblock | None = None
+        i = 0
+        length = 1
+
+        try:
+            while retired < budget:
+                rip = regs.rip
+                nxt = block.links.get(rip)
+                if nxt is None:
+                    if rip in patches:
+                        breaks["patch"] += 1
+                        return retired
+                    nxt = blocks.get(rip)
+                    if nxt is None:
+                        nxt = self._new_block(rip)
+                    block.links[rip] = nxt
+                    stats.links_created += 1
+                n = nxt.n_body
+                tail = nxt.tail
+                if n == 0 and tail is None:
+                    breaks["empty"] += 1
+                    return retired
+                avail = budget - retired
+                if avail < n:
+                    # partial dispatch: retire the fitting prefix
+                    # through the pipeline, then end on the budget.
+                    budget_cut = True
+                    links_followed += 1
+                    length += 1
+                    cur = nxt
+                    i = 0
+                    for fn in nxt.body[:avail]:
+                        if fn() is SLOW:
+                            break
+                        i += 1
+                    retired += i
+                    uops_local += i
+                    stats.partial_block_runs += 1
+                    if i < avail:
+                        stats.slow_fallbacks += 1
+                        breaks["slow"] += 1
+                        self._chain_flush(full_runs, cur, i, links_followed,
+                                          block_runs, uops_local)
+                        cur = None
+                        i = 0
+                        links_followed = block_runs = uops_local = 0
+                        if retired < budget:
+                            cpu.step()
+                            retired += 1
+                        return retired
+                    breaks["budget"] += 1
+                    return retired
+                links_followed += 1
+                length += 1
+                if n:
+                    cur = nxt
+                    i = 0
+                    for fn in nxt.body:
+                        if fn() is SLOW:
+                            break
+                        i += 1
+                    retired += i
+                    uops_local += i
+                    if i < n:
+                        stats.slow_fallbacks += 1
+                        breaks["slow"] += 1
+                        self._chain_flush(full_runs, cur, i, links_followed,
+                                          block_runs, uops_local)
+                        cur = None
+                        i = 0
+                        links_followed = block_runs = uops_local = 0
+                        if retired < budget:
+                            cpu.step()
+                            retired += 1
+                        return retired
+                    cur = None
+                    e = full_runs.get(id(nxt))
+                    if e is None:
+                        full_runs[id(nxt)] = [nxt, 1]
+                    else:
+                        e[1] += 1
+                    block_runs += 1
+                if tail is None:
+                    breaks["notail"] += 1
+                    return retired
+                if retired >= budget:
+                    budget_cut = True
+                    breaks["budget"] += 1
+                    return retired
+                tail()
+                retired += 1
+                uops_local += 1
+                if n == 0:
+                    block_runs += 1
+                if nxt.chain_check and cpu.halted:
+                    breaks["halt"] += 1
+                    return retired
+                if not nxt.chainable:
+                    breaks["unchainable"] += 1
+                    return retired
+                block = nxt
+            budget_cut = True
+            breaks["budget"] += 1
+            return retired
+        finally:
+            self._chain_flush(full_runs, cur, i, links_followed,
+                              block_runs, uops_local)
+            if length > 1:
+                stats.chain_runs += 1
+                stats.chain_lengths[length] += 1
+            if length >= CHAIN_SHORT_LEN:
+                root.chain_shorts = 0
+            elif not budget_cut:
+                root.chain_shorts += 1
+                if root.chain_shorts >= CHAIN_DEMOTE_AFTER:
+                    root.chain_root = False
+                    stats.chain_demotions += 1
 
     # ------------------------------------------------------- body runner
     @staticmethod
@@ -1476,6 +2030,31 @@ class UopEngine:
                         rbc[cls] += 1
         return i
 
+    @staticmethod
+    def _run_body_partial(cpu, block: Superblock, k: int) -> int:
+        """Execute the first ``k`` body micro-ops — the prefix that
+        fits the remaining quantum budget.  Every closure is exactly
+        one seed step and leaves RIP architecturally correct, so
+        stopping after ``k`` of them is stopping between steps; the
+        next dispatch resumes at the mid-block RIP."""
+        body = block.body
+        i = 0
+        try:
+            for fn in body[:k]:
+                if fn() is SLOW:
+                    break
+                i += 1
+        finally:
+            if i:
+                cost = block.prefix_cost[i]
+                cpu.cycles += cost
+                cpu.work_cycles += cost
+                cpu.instruction_count += i
+                rbc = cpu.retired_by_class
+                for cls in block.classes[:i]:
+                    rbc[cls] += 1
+        return i
+
     # ---------------------------------------------------------- builder
     def _build(self, entry: int) -> Superblock:
         cpu = self.cpu
@@ -1487,6 +2066,7 @@ class UopEngine:
         prefix = [0]
         tail = None
         tail_addr = None
+        chain_grade = 0
         addr = entry
         while len(body) < MAX_BLOCK:
             if addr in patches:
@@ -1500,6 +2080,7 @@ class UopEngine:
                 tail = bind_control(uop, cpu)
                 if tail is not None:
                     tail_addr = addr
+                    chain_grade = _tail_chain_grade(uop, prog)
                 break
             if cls is OpClass.SYS:
                 break
@@ -1510,4 +2091,5 @@ class UopEngine:
             classes.append(cls)
             prefix.append(prefix[-1] + uop.cost)
             addr += uop.size
-        return Superblock(entry, body, classes, prefix, tail, tail_addr)
+        return Superblock(entry, body, classes, prefix, tail, tail_addr,
+                          chain_grade)

@@ -1,10 +1,12 @@
 """Host-throughput regression gate (``pytest -m perf_smoke``).
 
 Runs the pipeline benchmark at quick scales and compares each
-workload's *speedup ratio* (uops vs. interpreter) against the
-committed baseline.  The ratio is machine-independent — both tiers
-slow down together on a loaded or slower host — so the gate stays
-meaningful in CI, unlike absolute instructions/sec."""
+workload's *speedup ratios* (uops vs. interpreter, and chained vs.
+interpreter) against the committed baseline.  The ratios are
+machine-independent — all tiers slow down together on a loaded or
+slower host — so the gate stays meaningful in CI, unlike absolute
+instructions/sec.  The chained tier is additionally required to
+actually chain: zero links followed on a lorenz workload fails."""
 
 import importlib.util
 import json
@@ -41,10 +43,15 @@ def test_pipeline_speedup_no_regression(tmp_path):
     for workload, base in baseline.items():
         row = current[workload]
         assert row["identical_results"], f"{workload}: simulated results diverged"
-        floor = base["speedup"] * (1 - TOLERANCE)
-        if row["speedup"] < floor:
-            failures.append(
-                f"{workload}: speedup {row['speedup']:.2f}x < floor "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x)"
-            )
+        for ratio in ("speedup", "chain_speedup"):
+            floor = base[ratio] * (1 - TOLERANCE)
+            if row[ratio] < floor:
+                failures.append(
+                    f"{workload}: {ratio} {row[ratio]:.2f}x < floor "
+                    f"{floor:.2f}x (baseline {base[ratio]:.2f}x)"
+                )
+        if workload.startswith("lorenz"):
+            links = (row.get("chain_stats") or {}).get("links_followed", 0)
+            if not links:
+                failures.append(f"{workload}: chained tier followed zero links")
     assert not failures, "; ".join(failures)

@@ -18,15 +18,16 @@ def test_axis_is_bit_identical(checks):
 
 
 def test_axis_covers_every_cell(checks):
-    cells = {(c.program, c.mode, c.quantum) for c in checks}
+    cells = {(c.program, c.mode, c.tier, c.quantum) for c in checks}
     expected = {
-        (program, mode, quantum)
+        (program, mode, tier, quantum)
         for program in scheduling.PROGRAMS
         for mode in scheduling.ATTACH_MODES
+        for tier in scheduling.TIERS
         for quantum in (*scheduling.QUANTA, 0)  # 0 = cross-quantum check
     }
     assert cells == expected
-    assert len(checks) == len(expected)
+    assert len(checks) == len(expected) == scheduling.cell_count()
 
 
 def test_staggered_joins_actually_park():

@@ -1,0 +1,382 @@
+"""Cross-quantum superblock chaining: link mechanics, quantum budget
+parity, invalidation edges, root demotion, and the shared per-process
+block cache under patching."""
+
+import pytest
+
+from repro.core.vm import FPVM, FPVMConfig
+from repro.kernel.kernel import LinuxKernel
+from repro.machine import uops
+from repro.machine.assembler import assemble
+from repro.machine.cpu import CPU, MachineError
+from repro.machine.hostlib import install_host_library
+from repro.machine.process import Process
+from repro.machine.program import PatchKind
+
+#: FP loop whose body compiles to one superblock with a ``jne`` tail —
+#: the chain dispatcher's best case (a self-link followed every
+#: iteration).
+LOOP_SRC = """
+.data
+k: .double 1.0001
+n: .quad 150
+.text
+main:
+  mov rcx, [rip + n]
+  movsd xmm0, [rip + k]
+  movsd xmm1, [rip + k]
+top:
+  mulsd xmm0, xmm1
+  addsd xmm0, xmm1
+  subsd xmm0, xmm1
+  dec rcx
+  jne top
+  call print_f64
+  hlt
+"""
+
+#: call/ret ping-pong around a host call: every chain is structurally
+#: short (call -> f, ret -> back, then the unchainable host-call tail),
+#: the demotion case.
+CALLRET_SRC = """
+.data
+k: .double 1.25
+n: .quad 40
+.text
+f:
+  mulsd xmm0, xmm1
+  ret
+
+main:
+  mov rcx, [rip + n]
+  movsd xmm0, [rip + k]
+  movsd xmm1, [rip + k]
+cloop:
+  call f
+  call print_f64
+  dec rcx
+  jne cloop
+  hlt
+"""
+
+
+def _program(src: str):
+    program = assemble(src)
+    install_host_library(program)
+    return program
+
+
+def _cpu(program, uops_on=True, chain=None, config=None):
+    cpu = CPU(program, uops=uops_on, chain=chain)
+    kernel = LinuxKernel()
+    cpu.kernel = kernel
+    if config is not None:
+        FPVM(config).attach(cpu, kernel)
+        cpu.uops_enabled = uops_on
+    return cpu
+
+
+def _fingerprint(cpu):
+    regs = cpu.regs
+    return {
+        "rip": regs.rip,
+        "gpr": tuple(regs.gpr),
+        "xmm": tuple(tuple(lanes) for lanes in regs.xmm),
+        "flags": regs.flags.pack(),
+        "mxcsr": regs.mxcsr,
+        "cycles": cpu.cycles,
+        "instructions": cpu.instruction_count,
+        "fp_traps": cpu.fp_trap_count,
+        "output": tuple(cpu.output),
+        "halted": cpu.halted,
+    }
+
+
+class TestChainMechanics:
+    def test_loop_chains_and_stats(self):
+        cpu = _cpu(_program(LOOP_SRC), chain=True)
+        cpu.run()
+        st = cpu.uop_stats.as_dict()
+        assert st["links_created"] >= 1
+        assert st["links_followed"] > 100        # ~one link per iteration
+        assert st["chain_runs"] >= 1
+        assert max(st["chain_lengths"]) > 100    # the self-loop trace
+        assert st["chain_breaks"]                # every chain ends somewhere
+
+    def test_chained_identical_to_stepwise_and_unchained(self):
+        results = {}
+        for label, (uops_on, chain) in {
+            "stepwise": (False, False),
+            "unchained": (True, False),
+            "chained": (True, True),
+        }.items():
+            cpu = _cpu(_program(LOOP_SRC), uops_on=uops_on, chain=chain)
+            cpu.run()
+            results[label] = _fingerprint(cpu)
+        assert results["chained"] == results["stepwise"]
+        assert results["unchained"] == results["stepwise"]
+
+    def test_chain_flag_defaults_to_env(self, monkeypatch):
+        prog = _program(LOOP_SRC)
+        monkeypatch.setenv("FPVM_CHAIN", "0")
+        assert CPU(prog, uops=True).chain_enabled is False
+        monkeypatch.setenv("FPVM_CHAIN", "1")
+        assert CPU(prog, uops=True).chain_enabled is True
+        assert CPU(prog, uops=True, chain=False).chain_enabled is False
+
+
+class TestTailChainGrades:
+    def test_grades_by_mnemonic(self):
+        prog = _program(CALLRET_SRC)
+        grades = {}
+        for instr in prog.instructions:
+            uop = uops.lower(instr)
+            if uop.opclass is uops.OpClass.CONTROL:
+                grades.setdefault(instr.mnemonic, set()).add(
+                    (uops._tail_chain_grade(uop, prog),
+                     str(instr.operands[0]) if instr.operands else ""))
+        assert all(g == 1 for g, _ in grades["jne"])
+        assert all(g == 2 for g, _ in grades["ret"])
+        call_grades = {target: g for g, target in grades["call"]}
+        assert call_grades["f"] == 1             # static guest target
+        assert call_grades["print_f64"] == 0     # host function: never
+
+    def test_ret_halt_guard(self):
+        """A grade-2 (ret) tail that halts the core must not start a
+        chain: the sentinel leaves RIP pointing *at* the ret, so a chain
+        entered there would re-execute it against a dead stack."""
+        cpu = _cpu(_program(".text\nmain:\n  mov rax, 1\n  ret\n"),
+                   chain=True)
+        cpu.run()
+        st = cpu.uop_stats.as_dict()
+        assert cpu.halted
+        assert cpu.instruction_count == 2
+        assert st["links_followed"] == 0
+        assert st["chain_runs"] == 0
+
+
+class TestQuantumBudgetParity:
+    """run_quantum(n) under chaining must equal exactly n seed steps —
+    including budgets that land mid-body after a followed link."""
+
+    @pytest.mark.parametrize("budget", [*range(1, 14), 29, 64, 257])
+    def test_single_quantum_trajectory(self, budget):
+        chained = _cpu(_program(LOOP_SRC), chain=True)
+        taken = chained.run_quantum(budget)
+        assert taken == budget                    # loop far from halting
+
+        seed = _cpu(_program(LOOP_SRC), uops_on=False)
+        for _ in range(budget):
+            seed.step()
+        assert _fingerprint(chained) == _fingerprint(seed)
+
+    @pytest.mark.parametrize("quantum", [1, 3, 7, 64])
+    def test_run_to_halt_in_quanta(self, quantum):
+        chained = _cpu(_program(LOOP_SRC), chain=True)
+        total = 0
+        while not chained.halted:
+            total += chained.run_quantum(quantum)
+            assert total < 10_000
+        seed = _cpu(_program(LOOP_SRC), uops_on=False)
+        seed.run()
+        assert _fingerprint(chained) == _fingerprint(seed)
+
+    def test_partial_block_dispatch_at_budget_edge(self):
+        """With a 4-uop loop body and quantum 7, every other dispatch
+        ends mid-block; the chaining tier retires the fitting prefix
+        through the pipeline instead of seed-stepping the edge."""
+        chained = _cpu(_program(LOOP_SRC), chain=True)
+        while not chained.halted:
+            chained.run_quantum(7)
+        st = chained.uop_stats.as_dict()
+        assert st["partial_block_runs"] > 0
+        assert st["chain_breaks"].get("budget", 0) > 0
+
+        seed = _cpu(_program(LOOP_SRC), uops_on=False)
+        seed.run()
+        assert _fingerprint(chained) == _fingerprint(seed)
+
+
+class _Trampoline:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, cpu, addr):
+        self.calls += 1
+
+
+class TestChainInvalidation:
+    def test_patch_at_link_target_breaks_chain(self):
+        """A patched address must never be entered from inside a chain:
+        the dispatcher re-checks the patch table on every link miss."""
+        prog = _program(LOOP_SRC)
+        tramp = _Trampoline()
+        prog.patch_call(prog.symbols["top"], tramp)
+        assert prog.patches[prog.symbols["top"]].kind is PatchKind.MAGIC_CALL
+
+        chained = _cpu(prog, chain=True)
+        chained.run()
+        assert tramp.calls == 150                 # every loop iteration
+
+        st = chained.uop_stats.as_dict()
+        assert st["links_followed"] == 0          # edge leads into a patch
+        assert st["chain_runs"] == 0
+
+        # identical to the stepwise seed under the *same* patch (the
+        # magic-call hook has host-visible cycle cost, so both sides
+        # must carry it).
+        plain_prog = _program(LOOP_SRC)
+        plain_tramp = _Trampoline()
+        plain_prog.patch_call(plain_prog.symbols["top"], plain_tramp)
+        plain = _cpu(plain_prog, uops_on=False)
+        plain.run()
+        assert plain_tramp.calls == tramp.calls
+        assert _fingerprint(chained) == _fingerprint(plain)
+
+    def test_patch_epoch_bump_drops_links(self):
+        """Patching after a chained run must unlink every cached edge;
+        re-running the same CPU must see the patch."""
+        prog = _program(LOOP_SRC)
+        cpu = _cpu(prog, chain=True)
+        cpu.run()
+        assert cpu.uop_stats.links_created > 0
+
+        engine = cpu._uop_engine
+        loop_entry = prog.symbols["top"]
+        body_addr = prog.by_addr[loop_entry].addr + prog.by_addr[loop_entry].size
+        tramp = _Trampoline()
+        prog.patch_call(body_addr, tramp)
+
+        cpu.halted = False
+        cpu.resume_at(prog.entry)
+        try:
+            cpu.run(max_steps=80)
+        except MachineError:
+            pass
+        assert tramp.calls > 0, "stale chained superblock ran through a patch"
+        assert engine.cache.unlinks > 0
+        assert engine.cache.invalidations > 0
+
+    def test_slow_inside_chained_block(self):
+        """Under seq_short virtualization, FP micro-ops in a linked
+        block go SLOW at unpromoted sites; the chain must flush its
+        accounting, fall back to step(), and stay bit-identical."""
+        chained = _cpu(_program(LOOP_SRC), chain=True,
+                       config=FPVMConfig.seq_short(uops=True))
+        chained.run()
+        st = chained.uop_stats.as_dict()
+        assert chained.fp_trap_count > 0
+
+        stepwise = _cpu(_program(LOOP_SRC), uops_on=False,
+                        config=FPVMConfig.seq_short(uops=False))
+        stepwise.run()
+        assert _fingerprint(chained) == _fingerprint(stepwise)
+        # the chain either hit SLOW mid-trace or never formed across the
+        # trap sites; both must be visible in telemetry, not silent.
+        assert st["slow_fallbacks"] > 0
+
+    def test_step_limit_reached_inside_chain(self):
+        cpu = _cpu(_program(".text\nmain:\n  nop\nspin:\n  jmp spin\n"),
+                   chain=True)
+        with pytest.raises(MachineError):
+            cpu.run(max_steps=500)
+
+    def test_infinite_chain_respects_quantum_budget(self):
+        cpu = _cpu(_program(".text\nmain:\n  nop\nspin:\n  jmp spin\n"),
+                   chain=True)
+        assert cpu.run_quantum(50) == 50
+        assert not cpu.halted
+
+
+class TestRootDemotion:
+    def test_short_chains_demote_their_root(self):
+        cpu = _cpu(_program(CALLRET_SRC), chain=True)
+        cpu.run()
+        st = cpu.uop_stats.as_dict()
+        assert st["chain_demotions"] >= 1
+        engine = cpu._uop_engine
+        assert any(not b.chain_root for b in engine._blocks.values()
+                   if b.chainable)
+        # demotion is a host-side throttle only: results stay identical.
+        seed = _cpu(_program(CALLRET_SRC), uops_on=False)
+        seed.run()
+        assert _fingerprint(cpu) == _fingerprint(seed)
+
+    def test_budget_cuts_do_not_demote(self):
+        """A quantum edge ends the trace, not the program's structure —
+        chains cut by the budget must never blacklist their root."""
+        cpu = _cpu(_program(LOOP_SRC), chain=True)
+        while not cpu.halted:
+            cpu.run_quantum(5)                    # < one body + tail
+        st = cpu.uop_stats.as_dict()
+        assert st["chain_breaks"].get("budget", 0) > 0
+        assert st["chain_demotions"] == 0
+
+
+THREADED_SRC = """
+.data
+k: .double 1.125
+vals: .double 1.0, 2.0
+n: .quad 60
+.text
+worker:
+  ; rdi = slot index
+  mov rcx, [rip + n]
+  mov rbx, vals
+  movsd xmm0, [rbx + rdi*8]
+  movsd xmm1, [rip + k]
+wtop:
+  mulsd xmm0, xmm1
+  subsd xmm0, xmm1
+  dec rcx
+  jne wtop
+  movsd [rbx + rdi*8], xmm0
+  ret
+
+main:
+  hlt
+"""
+
+
+class TestSharedCacheAcrossThreads:
+    def test_threads_share_one_cache(self):
+        proc = Process(_program(THREADED_SRC), uops=True, chain=True)
+        proc.kernel = LinuxKernel()
+        prog = proc.main.program
+        proc.spawn(prog.symbols["worker"], 0)
+        proc.spawn(prog.symbols["worker"], 1)
+        for t in proc.threads:
+            assert t._engine().cache is proc.sb_cache
+
+    def test_patch_by_one_thread_invalidates_anothers_links(self):
+        """The PR 3 gap chaining would have widened: thread B caches and
+        links the worker loop, then the patch lands (as a promotion by
+        thread A would).  B's very next dispatch must drop its links and
+        honor the patch — without ever re-entering the engine loop
+        between chained blocks."""
+        proc = Process(_program(THREADED_SRC), uops=True, chain=True)
+        proc.kernel = LinuxKernel()
+        prog = proc.main.program
+        tid_a = proc.spawn(prog.symbols["worker"], 0)
+        tid_b = proc.spawn(prog.symbols["worker"], 1)
+        thread_a, thread_b = proc.threads[tid_a], proc.threads[tid_b]
+
+        # B runs a few quanta: the loop block is cached and self-linked.
+        thread_b.run_quantum(40)
+        assert thread_b.uop_stats.links_followed > 0
+
+        # A (host-side stand-in for its promotion path) patches an
+        # address inside the block B linked.
+        wtop = prog.symbols["wtop"]
+        body_addr = prog.by_addr[wtop].addr + prog.by_addr[wtop].size
+        tramp = _Trampoline()
+        prog.patch_call(body_addr, tramp)
+        thread_a.run_quantum(10)
+
+        before = proc.sb_cache.unlinks
+        thread_b.run_quantum(40)
+        assert tramp.calls > 0, (
+            "thread B executed a stale chained block through thread A's "
+            "patch site")
+        assert proc.sb_cache.unlinks >= before
+        assert proc.sb_cache.invalidations > 0
