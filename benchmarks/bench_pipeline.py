@@ -1,16 +1,17 @@
 """Host-throughput benchmark for the micro-op pipeline.
 
-Runs each workload three times — micro-op pipeline OFF (the seed
-single-step interpreter), ON with cross-quantum chaining disabled, and
-ON with chaining — asserts the simulated results are bit-identical
-across all tiers (cycles, instruction count, stdout), and reports host
-wall-clock guest-instructions/sec for each, writing
-``BENCH_pipeline.json``.  Multi-threaded workloads (``lorenz_mt``) run
-under the Process scheduler, comparing batched superblock quanta
-against the seed step-wise scheduler with per-thread cycle/trap parity
-checks.  Chained rows on the lorenz workloads must report a non-zero
-link count, so a silently disabled chain tier fails loudly instead of
-benchmarking the unchained engine twice.
+Runs each workload four times — micro-op pipeline OFF (the seed
+single-step interpreter), ON with cross-quantum chaining disabled, ON
+with chaining but the trace JIT off, and ON with the fused trace JIT —
+asserts the simulated results are bit-identical across all tiers
+(cycles, instruction count, stdout), and reports host wall-clock
+guest-instructions/sec for each, writing ``BENCH_pipeline.json``.
+Multi-threaded workloads (``lorenz_mt``) run under the Process
+scheduler, comparing batched superblock quanta against the seed
+step-wise scheduler with per-thread cycle/trap parity checks.  Chained
+rows on the lorenz workloads must report a non-zero link count, and
+traced rows a non-zero compile count, so a silently disabled tier
+fails loudly instead of benchmarking the tier below it twice.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick] [--out PATH]
@@ -52,12 +53,19 @@ def _thread_fingerprint(result) -> list | None:
     ]
 
 
-#: tier label -> (uops, chain) runner flags.
+#: tier label -> (uops, chain, trace) runner flags.
 TIERS = {
-    "interp": (False, False),
-    "uops": (True, False),
-    "chained": (True, True),
+    "interp": (False, False, False),
+    "uops": (True, False, False),
+    "chained": (True, True, False),
+    "traced": (True, True, True),
 }
+
+#: workloads whose hot loop fuses into a trace (in-run superblock
+#: cycles).  The others break "unchainable" each lap (an output syscall
+#: in the outer loop), so the trace recorder never sees a cycle — the
+#: traced row must still be bit-identical, but compiles may be zero.
+TRACE_WORKLOADS = ("lorenz",)
 
 
 def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
@@ -65,16 +73,17 @@ def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
     runner = (run_native_process if get_workload(workload).requires_process
               else run_native)
     runs = {}
-    for label, (uops, chain) in TIERS.items():
+    for label, (uops, chain, trace) in TIERS.items():
         best = None
         for _ in range(reps):
-            result = runner(workload, scale, uops=uops, chain=chain)
+            result = runner(workload, scale, uops=uops, chain=chain,
+                            trace=trace)
             if best is None or result.host.seconds < best.host.seconds:
                 best = result
         runs[label] = best
 
     interp = runs["interp"]
-    for label in ("uops", "chained"):
+    for label in ("uops", "chained", "traced"):
         other = runs[label]
         identical = (
             interp.cycles == other.cycles
@@ -89,12 +98,18 @@ def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
                 f"instructions {interp.instructions} vs {other.instructions})"
             )
 
-    uops, chained = runs["uops"], runs["chained"]
+    uops, chained, traced = runs["uops"], runs["chained"], runs["traced"]
     chain_stats = chained.host.chain or {}
     if workload.startswith("lorenz") and not chain_stats.get("links_followed"):
         raise AssertionError(
             f"{workload}: chained tier followed zero links "
             f"(chain telemetry: {chain_stats}) — chaining is silently off"
+        )
+    trace_stats = traced.host.trace or {}
+    if workload in TRACE_WORKLOADS and not trace_stats.get("trace_compiles"):
+        raise AssertionError(
+            f"{workload}: traced tier compiled zero traces "
+            f"(trace telemetry: {trace_stats}) — the trace JIT is silently off"
         )
     row = {
         "workload": workload,
@@ -110,8 +125,12 @@ def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
         "chained_seconds": chained.host.seconds,
         "chained_ips": chained.host.ips,
         "chain_speedup": interp.host.seconds / chained.host.seconds,
+        "traced_seconds": traced.host.seconds,
+        "traced_ips": traced.host.ips,
+        "trace_speedup": interp.host.seconds / traced.host.seconds,
         "uop_stats": uops.host.uop_stats,
         "chain_stats": chain_stats,
+        "trace_stats": trace_stats,
     }
     if uops.host.sched is not None:
         row["sched"] = uops.host.sched
@@ -137,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
               f"uops {row['uops_ips']:>10,.0f} i/s ({row['speedup']:.2f}x) | "
               f"chained {row['chained_ips']:>10,.0f} i/s "
               f"({row['chain_speedup']:.2f}x) | "
+              f"traced {row['traced_ips']:>10,.0f} i/s "
+              f"({row['trace_speedup']:.2f}x) | "
               f"identical={row['identical_results']}")
 
     doc = {
@@ -148,11 +169,19 @@ def main(argv: list[str] | None = None) -> int:
         "results": results,
         "min_speedup": min(r["speedup"] for r in results),
         "min_chain_speedup": min(r["chain_speedup"] for r in results),
+        "min_trace_speedup": min(r["trace_speedup"] for r in results),
+        #: the ISSUE acceptance metric: trace-JIT speedup on the fusing
+        #: (lorenz-class) workloads, where the ≥15x target applies.
+        "lorenz_trace_speedup": max(
+            r["trace_speedup"] for r in results
+            if r["workload"] in TRACE_WORKLOADS
+        ),
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out} (min speedup {doc['min_speedup']:.2f}x, "
-          f"min chain speedup {doc['min_chain_speedup']:.2f}x)")
+          f"min chain speedup {doc['min_chain_speedup']:.2f}x, "
+          f"lorenz trace speedup {doc['lorenz_trace_speedup']:.2f}x)")
     return 0
 
 

@@ -26,6 +26,12 @@ chained execution back to the seed interpreter step by step:
 :func:`differential_replay` is the pytest-facing entry point: it takes
 a zero-arg Program factory (each CPU needs its own image — patches and
 data are mutable) and returns a :class:`ReplayReport`.
+
+The same oracle pins the fused trace JIT (machine/tracejit.py):
+``differential_replay(..., trace=True)`` makes every probe compile and
+run fused traces, so a corrupted generated closure — injected through
+``tracejit.CODEGEN_HOOK`` in the conformance tests — is localized to
+the exact step the corrupted trace first retires it.
 """
 
 from __future__ import annotations
@@ -355,8 +361,11 @@ class Replayer:
 
 # -------------------------------------------------------------- harness
 def _make_cpu(program, config: FPVMConfig | None, uops: bool,
-              chain: bool) -> CPU:
-    cpu = CPU(program, uops=uops, chain=chain)
+              chain: bool, trace: bool | None = None,
+              trace_threshold: int | None = None) -> CPU:
+    cpu = CPU(program, uops=uops, chain=chain, trace=trace)
+    if trace_threshold is not None:
+        cpu.trace_stabilize_threshold = trace_threshold
     kernel = LinuxKernel()
     cpu.kernel = kernel
     if config is not None:
@@ -372,16 +381,24 @@ def differential_replay(
     config: FPVMConfig | None = None,
     max_steps: int = DEFAULT_REPLAY_STEPS,
     chain: bool = True,
+    trace: bool | None = None,
+    trace_threshold: int | None = None,
 ) -> ReplayReport:
     """Record ``program_factory()`` under the seed interpreter, then
     replay the chained engine against the journal.  ``config`` attaches
     an FPVM (same config both sides); ``chain=False`` turns the check on
-    the unchained uop engine instead (isolation aid)."""
+    the unchained uop engine instead (isolation aid); ``trace=True``
+    pins the fused trace-JIT tier on so probes compile and run traces
+    (``None`` leaves the ``FPVM_TRACEJIT`` default), and
+    ``trace_threshold`` lowers the stabilization threshold so even
+    short fuzz loops fuse."""
     recorder = TraceRecorder(
-        _make_cpu(program_factory(), config, uops=False, chain=False))
+        _make_cpu(program_factory(), config, uops=False, chain=False,
+                  trace=False))
     journal = recorder.record(max_steps=max_steps)
 
     def chained_factory():
-        return _make_cpu(program_factory(), config, uops=True, chain=chain)
+        return _make_cpu(program_factory(), config, uops=True, chain=chain,
+                         trace=trace, trace_threshold=trace_threshold)
 
     return Replayer(journal, chained_factory).run()

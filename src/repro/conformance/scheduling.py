@@ -12,10 +12,16 @@ final-memory digest, and total simulated cycles.
 
 :func:`sweep` runs the axis over each program × attach mode × quantum
 × engine tier — batched superblocks with cross-quantum chaining off
-(``batched``) and on (``chained``) — against the stepwise seed, plus a
-cross-quantum check per tier that the batched runs agree with *each
-other*: the axis programs synchronize only through ``thread_join``, so
-their results must not depend on the scheduling granularity either.
+(``batched``), chaining on with the trace JIT pinned off (``chained``),
+and chaining plus the fused trace JIT (``traced``) — against the
+stepwise seed, plus a cross-quantum check per tier that the batched
+runs agree with *each other*: the axis programs synchronize only
+through ``thread_join``, so their results must not depend on the
+scheduling granularity either.  The ``traced`` cells are the
+scheduler-facing half of the trace-JIT contract: fused closures hand
+unretired budget back at side exits, so even quantum 1 — where no
+chain cycle ever completes in-run and traces only stabilize through
+cross-run heat, if at all — must stay bit-identical.
 """
 
 from __future__ import annotations
@@ -37,10 +43,17 @@ from repro.workloads import build_program
 QUANTA = (1, 7, 64)
 
 #: engine tiers swept against the stepwise seed: tier label -> the
-#: ``chain`` flag handed to :class:`Process` (both run ``uops=True``;
-#: ``chained`` additionally follows direct-jump links across cached
-#: superblocks inside a quantum).
-TIERS = {"batched": False, "chained": True}
+#: ``(chain, trace)`` flags handed to :class:`Process` (all run
+#: ``uops=True``).  ``chained`` follows direct-jump links across
+#: cached superblocks inside a quantum with the trace JIT pinned off;
+#: ``traced`` additionally fuses stable chain cycles into generated
+#: closures.  Both flags are pinned explicitly so the tiers stay
+#: distinct regardless of the ``FPVM_TRACEJIT`` environment default.
+TIERS = {
+    "batched": (False, False),
+    "chained": (True, False),
+    "traced": (True, True),
+}
 
 
 def cell_count() -> int:
@@ -149,11 +162,12 @@ def run_schedule(
     mode: str = "native",
     max_steps: int = oracle.DEFAULT_MAX_STEPS,
     chain: bool | None = None,
+    trace: bool | None = None,
 ) -> dict:
     """One run of ``factory()`` under the given quantum/tier/mode,
     returning its :func:`process_fingerprint`."""
     config_factory = ATTACH_MODES[mode]
-    proc = Process(factory(), uops=uops, chain=chain)
+    proc = Process(factory(), uops=uops, chain=chain, trace=trace)
     kernel = LinuxKernel()
     vm = None
     if config_factory is None:
@@ -205,9 +219,9 @@ def sweep(progress=None) -> list[SchedCheck]:
             for quantum in QUANTA:
                 # one stepwise reference run shared by every tier.
                 stepwise = run_schedule(factory, quantum, uops=False, mode=mode)
-                for tier, chain in TIERS.items():
+                for tier, (chain, trace) in TIERS.items():
                     got = run_schedule(factory, quantum, uops=True,
-                                       mode=mode, chain=chain)
+                                       mode=mode, chain=chain, trace=trace)
                     tiered[tier][quantum] = got
                     bad = _diff_keys(stepwise, got)
                     emit(SchedCheck(

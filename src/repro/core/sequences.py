@@ -27,7 +27,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.machine.isa import Instruction
-from repro.machine.uops import lower
+from repro.machine.uops import lower, shared_cache
 
 
 @dataclass
@@ -159,31 +159,50 @@ class SequenceEmulator:
 
     Hot traces — the same emulated address sequence seen
     ``trace_compile_threshold`` times — are promoted into
-    :class:`CompiledTrace` closures keyed by entry address.  The whole
-    compiled tier is invalidated when the program's ``patch_epoch``
-    changes (a patch appearing mid-trace must terminate emulation, and
-    a stale compiled trace would silently run through it).
+    :class:`CompiledTrace` closures keyed by entry address.  The
+    compiled tier lives in the attached CPU's shared
+    :class:`~repro.machine.uops.SuperblockCache` (``seq_traces``), so
+    sequence traces, superblocks, and fused chain traces share one
+    eviction policy: a ``patch_epoch`` bump drops all three wholesale
+    (a patch appearing mid-trace must terminate emulation, and a stale
+    compiled trace would silently run through it).  The emulator keeps
+    its own epoch mirror as well — stepwise runs never drive the uop
+    engine's cache sync, and ``_heat`` must clear with the traces.
     """
 
     def __init__(self, vm) -> None:
         self.vm = vm
         self.stats = TraceStatistics() if vm.config.collect_trace_stats else None
-        self._compiled: dict[int, CompiledTrace] = {}
+        self._compiled: dict[int, CompiledTrace] = {}  # pre-attach fallback
         self._heat: Counter = Counter()
         self._epoch: int | None = None
         self._threshold = getattr(vm.config, "trace_compile_threshold", 0)
+
+    def _trace_cache(self) -> dict:
+        """The unified per-process trace cache once a CPU is attached;
+        the private dict stands in before attach (bare unit tests)."""
+        cpu = self.vm.cpu
+        if cpu is None:
+            return self._compiled
+        return shared_cache(cpu).seq_traces
+
+    @property
+    def compiled(self) -> dict:
+        """Entry address -> :class:`CompiledTrace` (the unified cache)."""
+        return self._trace_cache()
 
     def handle_fp_trap(self, context, trap) -> int:
         """Emulate starting at the faulting instruction; returns the
         address execution should resume at."""
         vm = self.vm
         addr = trap.addr
+        compiled = self._trace_cache()
         epoch = vm.program.patch_epoch
         if epoch != self._epoch:
-            self._compiled.clear()
+            compiled.clear()
             self._heat.clear()
             self._epoch = epoch
-        trace = self._compiled.get(addr)
+        trace = compiled.get(addr)
         if trace is not None:
             return self._run_compiled(trace, context)
         return self._interpret(context, addr, [])
@@ -262,7 +281,7 @@ class SequenceEmulator:
             and len(addrs) >= 2
             and vm.config.sequence_emulation
             and getattr(vm, "uops_enabled", True)
-            and addrs[0] not in self._compiled
+            and addrs[0] not in self._trace_cache()
         ):
             heat = self._heat
             heat[addrs] += 1
@@ -282,7 +301,7 @@ class SequenceEmulator:
             steps.append((addr, probe))
         last = by_addr[addrs[-1]]
         end = addrs[-1] + last.size
-        self._compiled[addrs[0]] = CompiledTrace(addrs[0], steps, end)
+        self._trace_cache()[addrs[0]] = CompiledTrace(addrs[0], steps, end)
         vm.telemetry.compiled_traces += 1
         del self._heat[addrs]
 

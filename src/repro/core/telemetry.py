@@ -144,6 +144,43 @@ def aggregate_chain_stats(stats_dicts, cache_stats: dict | None = None) -> dict:
     return out
 
 
+def aggregate_trace_stats(stats_dicts, cache_stats: dict | None = None) -> dict:
+    """Merge per-thread ``UopStats.as_dict()`` trace-JIT telemetry into
+    one run-level summary: compile/recompile/demotion counters, steps
+    retired inside fused traces, the side-exit breakdown by reason, and
+    the trace-length (blocks per cycle) histogram."""
+    compiles = recompiles = runs = iters = steps = demotions = 0
+    exits: Counter = Counter()
+    lengths: Counter = Counter()
+    for stats in stats_dicts:
+        if not stats:
+            continue
+        compiles += stats.get("trace_compiles", 0)
+        recompiles += stats.get("trace_recompiles", 0)
+        runs += stats.get("trace_runs", 0)
+        iters += stats.get("trace_iters", 0)
+        steps += stats.get("trace_steps", 0)
+        demotions += stats.get("trace_demotions", 0)
+        exits.update(stats.get("trace_exits") or {})
+        for length, count in (stats.get("trace_lengths") or {}).items():
+            lengths[int(length)] += count
+    out = {
+        "trace_compiles": compiles,
+        "trace_recompiles": recompiles,
+        "trace_runs": runs,
+        "trace_iters": iters,
+        "trace_steps": steps,
+        "trace_demotions": demotions,
+        "trace_exits": dict(exits),
+        "trace_lengths": {length: lengths[length] for length in sorted(lengths)},
+        "mean_iters_per_run": iters / runs if runs else 0.0,
+    }
+    if cache_stats is not None:
+        out["cached_traces"] = cache_stats.get("cached_traces", 0)
+        out["dropped_traces"] = cache_stats.get("dropped_traces", 0)
+    return out
+
+
 @dataclass
 class Telemetry:
     """Everything a run reports besides the ledger."""

@@ -43,6 +43,9 @@ class HostPerf:
     #: cross-quantum chaining summary (telemetry.aggregate_chain_stats):
     #: link/unlink counters, chain-length histogram, cache state.
     chain: dict | None = None
+    #: fused trace-JIT summary (telemetry.aggregate_trace_stats):
+    #: compiles/recompiles, side-exit breakdown, trace-length histogram.
+    trace: dict | None = None
 
     @property
     def ips(self) -> float:
@@ -119,14 +122,30 @@ def _cpu_chain_summary(cpu) -> dict | None:
     )
 
 
+def _cpu_trace_summary(cpu) -> dict | None:
+    """Trace-JIT telemetry for a standalone CPU run, if the pipeline ran."""
+    from repro.core.telemetry import aggregate_trace_stats
+
+    stats = cpu.uop_stats
+    if stats is None:
+        return None
+    cache = cpu._sb_cache
+    return aggregate_trace_stats(
+        [stats.as_dict()],
+        cache.as_dict() if cache is not None else None,
+    )
+
+
 def run_native(
     workload: str,
     scale: int | None = None,
     uops: bool | None = None,
     chain: bool | None = None,
+    trace: bool | None = None,
     **kw,
 ) -> NativeResult:
-    cpu = CPU(build_program(workload, scale, **kw), uops=uops, chain=chain)
+    cpu = CPU(build_program(workload, scale, **kw), uops=uops, chain=chain,
+              trace=trace)
     cpu.kernel = LinuxKernel()
     t0 = time.perf_counter()
     cpu.run()
@@ -137,6 +156,7 @@ def run_native(
         instructions=cpu.instruction_count,
         uop_stats=stats.as_dict() if stats is not None else None,
         chain=_cpu_chain_summary(cpu),
+        trace=_cpu_trace_summary(cpu),
     )
     return NativeResult(workload, cpu.cycles, cpu.instruction_count,
                         list(cpu.output), host=host)
@@ -169,11 +189,13 @@ def _process_host_perf(proc, seconds: float) -> HostPerf:
         })
     total_instructions = sum(t.instruction_count for t in proc.threads)
     main_stats = proc.main.uop_stats
-    from repro.core.telemetry import aggregate_chain_stats
+    from repro.core.telemetry import aggregate_chain_stats, aggregate_trace_stats
 
     per_thread_stats = [t.uop_stats.as_dict() for t in proc.threads
                         if t.uop_stats is not None]
     chain = (aggregate_chain_stats(per_thread_stats, proc.sb_cache.as_dict())
+             if per_thread_stats else None)
+    trace = (aggregate_trace_stats(per_thread_stats, proc.sb_cache.as_dict())
              if per_thread_stats else None)
     return HostPerf(
         seconds=seconds,
@@ -182,6 +204,7 @@ def _process_host_perf(proc, seconds: float) -> HostPerf:
         threads=threads,
         sched=sched.as_dict(),
         chain=chain,
+        trace=trace,
     )
 
 
@@ -190,6 +213,7 @@ def run_native_process(
     scale: int | None = None,
     uops: bool | None = None,
     chain: bool | None = None,
+    trace: bool | None = None,
     quantum: int = 64,
     **kw,
 ) -> NativeResult:
@@ -199,7 +223,7 @@ def run_native_process(
     from repro.machine.process import Process
 
     proc = Process(build_program(workload, scale, **kw), uops=uops,
-                   chain=chain)
+                   chain=chain, trace=trace)
     proc.kernel = LinuxKernel()
     t0 = time.perf_counter()
     proc.run(quantum=quantum)
@@ -215,6 +239,7 @@ def run_fpvm_process(
     config_name: str = "",
     scale: int | None = None,
     chain: bool | None = None,
+    trace: bool | None = None,
     quantum: int = 64,
     **kw,
 ) -> FPVMResult:
@@ -223,7 +248,7 @@ def run_fpvm_process(
     from repro.machine.process import Process
 
     program = build_program(workload, scale, **kw)
-    proc = Process(program, chain=chain)
+    proc = Process(program, chain=chain, trace=trace)
     kernel = LinuxKernel()
     vm = FPVM(config).attach_process(proc, kernel)
     t0 = time.perf_counter()
@@ -257,12 +282,13 @@ def run_fpvm(
     scale: int | None = None,
     patch_sites: frozenset | None = None,
     chain: bool | None = None,
+    trace: bool | None = None,
     **kw,
 ) -> FPVMResult:
     program = build_program(workload, scale, **kw)
     if patch_sites is not None and config.patch_sites is None:
         config = config.with_(patch_sites=patch_sites)
-    cpu = CPU(program, chain=chain)
+    cpu = CPU(program, chain=chain, trace=trace)
     kernel = LinuxKernel()
     cpu.kernel = kernel
     vm = FPVM(config).attach(cpu, kernel)
@@ -278,6 +304,7 @@ def run_fpvm(
         compiled_traces=t.compiled_traces,
         compiled_trace_hits=t.compiled_trace_hits,
         chain=_cpu_chain_summary(cpu),
+        trace=_cpu_trace_summary(cpu),
     )
     return FPVMResult(
         workload=workload,

@@ -35,6 +35,7 @@ from repro.machine.memory import PROT_EXEC, PROT_READ, PROT_WRITE, Memory, PAGE_
 from repro.machine.program import PatchKind, Program, STACK_TOP
 from repro.machine.registers import Flags, RegisterFile, rounding_mode, unmasked_status
 from repro.machine.uops import chain_enabled_default, uops_enabled_default
+from repro.machine.tracejit import trace_enabled_default
 
 U64 = 0xFFFF_FFFF_FFFF_FFFF
 #: Return address sentinel: a ``ret`` to this address halts the machine.
@@ -73,9 +74,10 @@ class CPU:
         max_instructions: int = 100_000_000,
         uops: bool | None = None,
         chain: bool | None = None,
+        trace: bool | None = None,
     ):
         self._init_core(program, costs, max_instructions, uops=uops,
-                        chain=chain)
+                        chain=chain, trace=trace)
         self.mem = Memory()
         self._load_image()
 
@@ -86,6 +88,7 @@ class CPU:
         max_instructions: int = 100_000_000,
         uops: bool | None = None,
         chain: bool | None = None,
+        trace: bool | None = None,
     ) -> None:
         """Initialise every per-core field *except* memory and the loaded
         image.  ``__init__`` and :meth:`repro.machine.process.Process.spawn`
@@ -138,6 +141,13 @@ class CPU:
         #: loop at every tail.  FPVM_CHAIN environment knob; only
         #: meaningful with ``uops_enabled``.
         self.chain_enabled = chain_enabled_default() if chain is None else chain
+        #: fuse stable superblock chains into compiled trace closures
+        #: (the trace-JIT tier, tracejit.py).  FPVM_TRACEJIT knob; only
+        #: meaningful with ``chain_enabled``.
+        self.trace_enabled = trace_enabled_default() if trace is None else trace
+        #: consecutive identical laps of a block cycle before fusing it
+        #: (tests tune this; None = FPVM_TRACE_THRESHOLD / default 3).
+        self.trace_stabilize_threshold: int | None = None
         #: the SuperblockCache holding this core's blocks.  A Process
         #: installs its shared per-process cache here (one patch-epoch
         #: mirror for all threads) before the engine is created; left

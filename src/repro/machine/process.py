@@ -41,6 +41,7 @@ class Process:
         max_instructions: int = 100_000_000,
         uops: bool | None = None,
         chain: bool | None = None,
+        trace: bool | None = None,
     ):
         from repro.machine.costs import DEFAULT_COSTS
         from repro.core.telemetry import SchedulerStats
@@ -50,7 +51,7 @@ class Process:
         self.costs = costs or DEFAULT_COSTS
         self.max_instructions = max_instructions
         main = CPU(program, self.costs, max_instructions, uops=uops,
-                   chain=chain)
+                   chain=chain, trace=trace)
         main.tid = 0
         main.process = self
         #: the process-wide superblock cache: one object — one
@@ -104,7 +105,9 @@ class Process:
             self.max_instructions,
             uops=self.main.uops_enabled,
             chain=self.main.chain_enabled,
+            trace=self.main.trace_enabled,
         )
+        thread.trace_stabilize_threshold = self.main.trace_stabilize_threshold
         thread.mem = self.mem                      # shared address space
         thread.output = self.main.output           # shared stdout
         thread.kernel = self.main.kernel
@@ -266,6 +269,7 @@ def fork_process(parent: Process) -> Process:
         parent.max_instructions,
         uops=parent.main.uops_enabled,
         chain=parent.main.chain_enabled,
+        trace=parent.main.trace_enabled,
     )
     child.mem.clone_pages(parent.mem)
     # Post-fork threads must not collide with stacks carved pre-fork.

@@ -100,6 +100,15 @@ _RETURN_SENTINEL = 0xDEAD_0000
 
 _PARITY = tuple(bin(i).count("1") % 2 == 0 for i in range(256))
 
+#: trace exit code -> stat name (mirrors ``tracejit.EXIT_NAMES``;
+#: duplicated here because :mod:`repro.machine.tracejit` imports this
+#: module and is itself only imported lazily from engine methods).
+_TRACE_EXIT_NAMES = ("exit", "slow", "side", "halt", "budget", "mxcsr")
+
+#: longest block cycle the chain recorder tracks (mirror of
+#: ``tracejit.MAX_TRACE_BLOCKS`` for the hot path).
+_MAX_TRACE_BLOCKS = 16
+
 # ------------------------------------------------------------------ config
 _FALSEY = ("0", "false", "off", "no")
 
@@ -1356,7 +1365,9 @@ class SuperblockCache:
     """
 
     __slots__ = ("views", "epoch", "capacity", "cached_blocks",
-                 "invalidations", "evictions", "unlinks")
+                 "invalidations", "evictions", "unlinks",
+                 "trace_views", "seq_traces", "cached_traces",
+                 "dropped_traces")
 
     def __init__(self, capacity: int = 4096) -> None:
         #: id(cpu) -> {entry: Superblock} — cleared in place, never
@@ -1371,10 +1382,26 @@ class SuperblockCache:
         self.evictions = 0
         #: chain-graph edges destroyed by flushes/evictions.
         self.unlinks = 0
+        #: id(cpu) -> {entry: ChainTrace} — the fused trace-JIT tier's
+        #: compiled closures; per-CPU like blocks (bound closures), but
+        #: evicted by the same epoch policy, in place.
+        self.trace_views: dict[int, dict] = {}
+        #: entry -> CompiledTrace — the sequence emulator's compiled
+        #: FP-trap traces (address lists, shareable across threads);
+        #: unified here so one patch-epoch bump kills every compiled
+        #: artifact of both tiers at once.
+        self.seq_traces: dict = {}
+        self.cached_traces = 0
+        #: compiled traces (both tiers) killed by flushes/evictions.
+        self.dropped_traces = 0
 
     def view(self, cpu) -> dict[int, Superblock]:
         """The per-thread entry->Superblock map for ``cpu``."""
         return self.views.setdefault(id(cpu), {})
+
+    def trace_view(self, cpu) -> dict:
+        """The per-thread entry->ChainTrace map for ``cpu``."""
+        return self.trace_views.setdefault(id(cpu), {})
 
     def _drop_all(self) -> None:
         for view in self.views.values():
@@ -1382,6 +1409,13 @@ class SuperblockCache:
                 self.unlinks += len(blk.links)
             view.clear()
         self.cached_blocks = 0
+        dropped = len(self.seq_traces)
+        for tview in self.trace_views.values():
+            dropped += len(tview)
+            tview.clear()
+        self.seq_traces.clear()
+        self.dropped_traces += dropped
+        self.cached_traces = 0
 
     def sync(self, program) -> bool:
         """Mirror ``program.patch_epoch``; on any movement drop every
@@ -1410,7 +1444,22 @@ class SuperblockCache:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "unlinks": self.unlinks,
+            "cached_traces": self.cached_traces,
+            "dropped_traces": self.dropped_traces,
         }
+
+
+def shared_cache(cpu) -> SuperblockCache:
+    """The CPU's process-shared :class:`SuperblockCache`, created on
+    first use — one object per process (threads share it), one per
+    standalone CPU.  Both the superblock engine and the sequence
+    emulator go through here, so their compiled artifacts live under
+    one eviction policy."""
+    cache = getattr(cpu, "_sb_cache", None)
+    if cache is None:
+        cache = SuperblockCache()
+        cpu._sb_cache = cache
+    return cache
 
 
 class UopStats:
@@ -1420,7 +1469,10 @@ class UopStats:
                  "uops_retired", "slow_fallbacks", "single_steps",
                  "quantum_dispatches", "quantum_exits",
                  "links_created", "links_followed", "chain_runs",
-                 "chain_breaks", "chain_lengths", "chain_demotions")
+                 "chain_breaks", "chain_lengths", "chain_demotions",
+                 "trace_compiles", "trace_recompiles", "trace_runs",
+                 "trace_iters", "trace_steps", "trace_exits",
+                 "trace_lengths", "trace_demotions")
 
     def __init__(self) -> None:
         self.blocks_built = 0
@@ -1449,6 +1501,25 @@ class UopStats:
         #: roots blacklisted after consecutive structurally short
         #: chains (see :data:`CHAIN_SHORT_LEN`).
         self.chain_demotions = 0
+        #: stable chains fused into compiled trace closures.
+        self.trace_compiles = 0
+        #: compiles of an entry that had been compiled before
+        #: (post-demotion re-stabilization or post-flush rebuild).
+        self.trace_recompiles = 0
+        #: compiled-trace dispatches (one closure call each).
+        self.trace_runs = 0
+        #: complete trace laps retired.
+        self.trace_iters = 0
+        #: total steps retired through compiled traces.
+        self.trace_steps = 0
+        #: why trace dispatches ended, by exit name (see
+        #: ``tracejit.EXIT_NAMES``): exit / slow / side / halt /
+        #: budget / mxcsr.
+        self.trace_exits: Counter = Counter()
+        #: histogram: superblocks per compiled trace.
+        self.trace_lengths: Counter = Counter()
+        #: traces torn down after sustained early side exits.
+        self.trace_demotions = 0
 
     @property
     def uop_hit_rate(self) -> float:
@@ -1474,6 +1545,14 @@ class UopStats:
             "chain_breaks": dict(self.chain_breaks),
             "chain_lengths": dict(self.chain_lengths),
             "chain_demotions": self.chain_demotions,
+            "trace_compiles": self.trace_compiles,
+            "trace_recompiles": self.trace_recompiles,
+            "trace_runs": self.trace_runs,
+            "trace_iters": self.trace_iters,
+            "trace_steps": self.trace_steps,
+            "trace_exits": dict(self.trace_exits),
+            "trace_lengths": dict(self.trace_lengths),
+            "trace_demotions": self.trace_demotions,
         }
 
 
@@ -1490,16 +1569,27 @@ class UopEngine:
 
     def __init__(self, cpu) -> None:
         self.cpu = cpu
-        cache = getattr(cpu, "_sb_cache", None)
-        if cache is None:
-            cache = SuperblockCache()
-            cpu._sb_cache = cache
+        cache = shared_cache(cpu)
         self.cache = cache
         #: this CPU's entry -> Superblock view of the shared cache.
         #: The cache clears it *in place*, so this reference never
         #: goes stale across invalidations.
         self._blocks = cache.view(cpu)
         self.chain_enabled = getattr(cpu, "chain_enabled", True)
+        #: the fused trace-JIT tier rides on chaining: the chain
+        #: dispatcher is both the region recorder and the fallback.
+        self.trace_enabled = (self.chain_enabled
+                              and bool(getattr(cpu, "trace_enabled", False)))
+        #: entry -> ChainTrace (same in-place-clear contract as blocks).
+        self._traces = cache.trace_view(cpu)
+        #: entry -> [cycle signature, accumulated laps] for cycles that
+        #: have not reached the stabilization threshold inside a single
+        #: chain run (quantum-cut chains stabilize across runs).
+        self._trace_heat: dict[int, list] = {}
+        #: entry -> exponential re-stabilization backoff after demotion.
+        self._trace_backoff: dict[int, int] = {}
+        #: entries ever compiled (recompile telemetry).
+        self._trace_compiled_once: set[int] = set()
         self.stats = UopStats()
 
     def _new_block(self, entry: int) -> Superblock:
@@ -1512,6 +1602,86 @@ class UopEngine:
         self.stats.blocks_built += 1
         return block
 
+    # ---------------------------------------------------- trace-JIT tier
+    def _trace_need(self, entry: int) -> int:
+        """Consecutive identical laps required before ``entry``'s cycle
+        is fused — the configured threshold, doubled per demotion."""
+        from repro.machine import tracejit
+        base = max(1, getattr(self.cpu, "trace_stabilize_threshold",
+                              None) or tracejit.stabilize_threshold_default())
+        return base << min(self._trace_backoff.get(entry, 0),
+                           tracejit.BACKOFF_CAP)
+
+    def _compile_trace(self, blocks) -> None:
+        """Fuse a recorded block cycle; on unsupported shapes the root
+        is backed off so the recorder stops re-proposing it."""
+        from repro.machine import tracejit
+        entry = blocks[0].entry
+        traces = self._traces
+        if entry in traces or len(traces) >= tracejit.MAX_TRACES:
+            return
+        tr = tracejit.compile_trace(self.cpu, blocks)
+        self._trace_heat.pop(entry, None)
+        if tr is None:
+            self._trace_backoff[entry] = tracejit.BACKOFF_CAP
+            return
+        traces[entry] = tr
+        self.cache.cached_traces += 1
+        stats = self.stats
+        stats.trace_compiles += 1
+        if entry in self._trace_compiled_once:
+            stats.trace_recompiles += 1
+        else:
+            self._trace_compiled_once.add(entry)
+        stats.trace_lengths[len(blocks)] += 1
+
+    def _trace_note_cycle(self, cyc, reps: int) -> None:
+        """Cross-run stabilization: accumulate completed laps of a
+        detected cycle whose chain run ended before the threshold
+        (quantum budgets cut chains long before a loop finishes)."""
+        entry = cyc[0].entry
+        if entry in self._traces:
+            return
+        sig = tuple(b.entry for b in cyc)
+        heat = self._trace_heat
+        h = heat.get(entry)
+        if h is not None and h[0] == sig:
+            h[1] += reps
+            total = h[1]
+        else:
+            heat[entry] = [sig, reps]
+            total = reps
+        if total >= self._trace_need(entry):
+            self._compile_trace(cyc)
+
+    def _trace_dispatch(self, tr, avail: int) -> tuple[int, int]:
+        """Run a compiled trace for at most ``avail`` steps; returns
+        ``(steps retired, exit code)`` and applies the demotion policy
+        (sustained mispredictions tear the trace down; the next
+        stabilization pays a doubled threshold)."""
+        stats = self.stats
+        stats.trace_runs += 1
+        iters, pos, code = tr.run(avail)
+        steps = tr.settle(iters, pos)
+        stats.trace_iters += iters
+        stats.trace_steps += steps
+        stats.uops_retired += steps
+        stats.trace_exits[_TRACE_EXIT_NAMES[code]] += 1
+        tr.runs += 1
+        if code == 1 or code == 2 or code == 5:
+            tr.bad_exits += 1
+            from repro.machine import tracejit
+            if (tr.runs >= tracejit.DEMOTE_MIN_RUNS
+                    and tr.bad_exits * 2 >= tr.runs):
+                self._traces.pop(tr.entry, None)
+                self.cache.cached_traces -= 1
+                self._trace_heat.pop(tr.entry, None)
+                self._trace_backoff[tr.entry] = min(
+                    self._trace_backoff.get(tr.entry, 0) + 1,
+                    tracejit.BACKOFF_CAP)
+                stats.trace_demotions += 1
+        return steps, code
+
     # --------------------------------------------------------- main loop
     def run(self, limit: int) -> None:
         from repro.machine.cpu import MachineError
@@ -1522,6 +1692,7 @@ class UopEngine:
         patches = prog.patches
         cache = self.cache
         blocks = self._blocks
+        traces = self._traces
         stats = self.stats
         step = cpu.step
         chain_on = self.chain_enabled
@@ -1539,6 +1710,29 @@ class UopEngine:
                 if steps >= limit:
                     raise MachineError(f"run exceeded {limit} steps (runaway?)")
                 continue
+
+            if traces:
+                tr = traces.get(rip)
+                if tr is not None:
+                    done, code = self._trace_dispatch(tr, limit - steps)
+                    steps += done
+                    if steps >= limit:
+                        raise MachineError(
+                            f"run exceeded {limit} steps (runaway?)")
+                    if code == 1:
+                        # SLOW side exit: the faulting uop re-executes
+                        # through the seed path (full #XF protocol).
+                        stats.slow_fallbacks += 1
+                        step()
+                        steps += 1
+                        if steps >= limit:
+                            raise MachineError(
+                                f"run exceeded {limit} steps (runaway?)")
+                        continue
+                    if code != 5 and not (code == 4 and done == 0):
+                        continue
+                    # entry guard failed / zero-progress budget edge:
+                    # fall through to block dispatch at the same RIP.
 
             block = blocks.get(rip)
             if block is None:
@@ -1612,6 +1806,7 @@ class UopEngine:
         patches = prog.patches
         cache = self.cache
         blocks = self._blocks
+        traces = self._traces
         stats = self.stats
         step = cpu.step
         chain_on = self.chain_enabled
@@ -1635,6 +1830,24 @@ class UopEngine:
                 retired += 1
                 stats.single_steps += 1
                 continue
+
+            if traces:
+                tr = traces.get(rip)
+                if tr is not None:
+                    done, code = self._trace_dispatch(tr, budget - retired)
+                    retired += done
+                    if code == 1:
+                        stats.slow_fallbacks += 1
+                        if retired < budget:
+                            step()
+                            retired += 1
+                        continue
+                    if code != 5 and not (code == 4 and done == 0):
+                        continue
+                    # entry guard failed / lap doesn't fit the rest of
+                    # the quantum: fall through to block dispatch (the
+                    # partial-prefix path mirrors partial-block
+                    # retirement at the budget edge).
 
             block = blocks.get(rip)
             if block is None:
@@ -1773,6 +1986,17 @@ class UopEngine:
         cur: Superblock | None = None    # body in flight (partial flush)
         i = 0                            # retired uops of cur's body
         length = 1
+        # trace recording: the chain dispatcher doubles as the region
+        # selector — it watches the followed path for a block cycle and
+        # counts identical laps (see the trace-JIT tier).
+        trace_on = self.trace_enabled
+        traces = self._traces
+        rec = trace_on
+        cyc = None                       # detected cycle (block list)
+        ncyc = ci = reps = need = 0
+        if trace_on:
+            path = [block]
+            seen = {block.entry: 0}
 
         try:
             while True:
@@ -1787,6 +2011,49 @@ class UopEngine:
                         nxt = self._new_block(rip)
                     block.links[rip] = nxt
                     stats.links_created += 1
+                if trace_on:
+                    e = nxt.entry
+                    if e in traces:
+                        # compiled trace head: break so the engine loop
+                        # enters the trace at this exact RIP.
+                        breaks["trace"] += 1
+                        return steps
+                    if rec:
+                        if cyc is None:
+                            j = seen.get(e)
+                            if j is None:
+                                if len(path) < _MAX_TRACE_BLOCKS:
+                                    seen[e] = len(path)
+                                    path.append(nxt)
+                                else:
+                                    rec = False
+                            else:
+                                cyc = path[j:]
+                                ncyc = len(cyc)
+                                ci = 0
+                                reps = 1
+                                need = self._trace_need(e)
+                                if reps >= need:
+                                    self._compile_trace(cyc)
+                                    if e in traces:
+                                        breaks["stabilized"] += 1
+                                        return steps
+                                    rec = False
+                        else:
+                            ci += 1
+                            if ci == ncyc:
+                                ci = 0
+                            if e != cyc[ci].entry:
+                                rec = False
+                                cyc = None
+                            elif ci == 0:
+                                reps += 1
+                                if reps >= need:
+                                    self._compile_trace(cyc)
+                                    if e in traces:
+                                        breaks["stabilized"] += 1
+                                        return steps
+                                    rec = False
                 n = nxt.n_body
                 tail = nxt.tail
                 if n == 0 and tail is None:
@@ -1852,6 +2119,8 @@ class UopEngine:
         finally:
             self._chain_flush(full_runs, cur, i, links_followed,
                               block_runs, uops_local)
+            if trace_on and cyc is not None and reps:
+                self._trace_note_cycle(cyc, reps)
             if length > 1:
                 stats.chain_runs += 1
                 stats.chain_lengths[length] += 1
@@ -1887,6 +2156,14 @@ class UopEngine:
         cur: Superblock | None = None
         i = 0
         length = 1
+        trace_on = self.trace_enabled
+        traces = self._traces
+        rec = trace_on
+        cyc = None
+        ncyc = ci = reps = need = 0
+        if trace_on:
+            path = [block]
+            seen = {block.entry: 0}
 
         try:
             while retired < budget:
@@ -1901,6 +2178,47 @@ class UopEngine:
                         nxt = self._new_block(rip)
                     block.links[rip] = nxt
                     stats.links_created += 1
+                if trace_on:
+                    e = nxt.entry
+                    if e in traces:
+                        breaks["trace"] += 1
+                        return retired
+                    if rec:
+                        if cyc is None:
+                            j = seen.get(e)
+                            if j is None:
+                                if len(path) < _MAX_TRACE_BLOCKS:
+                                    seen[e] = len(path)
+                                    path.append(nxt)
+                                else:
+                                    rec = False
+                            else:
+                                cyc = path[j:]
+                                ncyc = len(cyc)
+                                ci = 0
+                                reps = 1
+                                need = self._trace_need(e)
+                                if reps >= need:
+                                    self._compile_trace(cyc)
+                                    if e in traces:
+                                        breaks["stabilized"] += 1
+                                        return retired
+                                    rec = False
+                        else:
+                            ci += 1
+                            if ci == ncyc:
+                                ci = 0
+                            if e != cyc[ci].entry:
+                                rec = False
+                                cyc = None
+                            elif ci == 0:
+                                reps += 1
+                                if reps >= need:
+                                    self._compile_trace(cyc)
+                                    if e in traces:
+                                        breaks["stabilized"] += 1
+                                        return retired
+                                    rec = False
                 n = nxt.n_body
                 tail = nxt.tail
                 if n == 0 and tail is None:
@@ -1991,6 +2309,8 @@ class UopEngine:
         finally:
             self._chain_flush(full_runs, cur, i, links_followed,
                               block_runs, uops_local)
+            if trace_on and cyc is not None and reps:
+                self._trace_note_cycle(cyc, reps)
             if length > 1:
                 stats.chain_runs += 1
                 stats.chain_lengths[length] += 1

@@ -1,12 +1,15 @@
 """Host-throughput regression gate (``pytest -m perf_smoke``).
 
 Runs the pipeline benchmark at quick scales and compares each
-workload's *speedup ratios* (uops vs. interpreter, and chained vs.
+workload's *speedup ratios* (uops, chained, and traced vs. the
 interpreter) against the committed baseline.  The ratios are
 machine-independent — all tiers slow down together on a loaded or
 slower host — so the gate stays meaningful in CI, unlike absolute
-instructions/sec.  The chained tier is additionally required to
-actually chain: zero links followed on a lorenz workload fails."""
+instructions/sec.  Two vacuity guards ride along: the chained tier
+must actually chain (zero links followed on a lorenz workload fails)
+and the traced tier must actually fuse (zero trace compiles on a
+trace workload fails) — a silently disabled tier would otherwise sail
+through the ratio gate at chained-tier speed."""
 
 import importlib.util
 import json
@@ -43,7 +46,7 @@ def test_pipeline_speedup_no_regression(tmp_path):
     for workload, base in baseline.items():
         row = current[workload]
         assert row["identical_results"], f"{workload}: simulated results diverged"
-        for ratio in ("speedup", "chain_speedup"):
+        for ratio in ("speedup", "chain_speedup", "trace_speedup"):
             floor = base[ratio] * (1 - TOLERANCE)
             if row[ratio] < floor:
                 failures.append(
@@ -54,4 +57,8 @@ def test_pipeline_speedup_no_regression(tmp_path):
             links = (row.get("chain_stats") or {}).get("links_followed", 0)
             if not links:
                 failures.append(f"{workload}: chained tier followed zero links")
+        if workload in bench.TRACE_WORKLOADS:
+            compiles = (row.get("trace_stats") or {}).get("trace_compiles", 0)
+            if not compiles:
+                failures.append(f"{workload}: traced tier compiled zero traces")
     assert not failures, "; ".join(failures)

@@ -1,10 +1,13 @@
 """The scheduling conformance axis: batched superblock quanta vs the
-seed step-wise scheduler must be bit-identical at every quantum, and
-the guest-visible result must be quantum-independent."""
+seed step-wise scheduler must be bit-identical at every quantum and
+every engine tier (batched, chained, traced), and the guest-visible
+result must be quantum-independent."""
 
 import pytest
 
 from repro.conformance import scheduling
+from repro.kernel.kernel import LinuxKernel
+from repro.machine.process import Process
 
 
 @pytest.fixture(scope="module")
@@ -38,6 +41,20 @@ def test_staggered_joins_actually_park():
         scheduling.PROGRAMS["staggered"], quantum=7, uops=True)
     assert fp["join_log"]
     assert len(fp["output"]) == 3
+
+
+def test_traced_cells_actually_fuse():
+    """Guard: the ``traced`` tier must compile at least one fused trace
+    under the axis workloads at the default scheduler quantum — else
+    its cells silently collapse into re-testing plain chaining."""
+    proc = Process(scheduling.PROGRAMS["staggered"](),
+                   uops=True, chain=True, trace=True)
+    proc.kernel = LinuxKernel()
+    proc.run(quantum=64)
+    compiles = sum(t.uop_stats.trace_compiles for t in proc.threads
+                   if t.uop_stats is not None)
+    assert compiles > 0, "traced tier never fused a chain cycle"
+    assert proc.sb_cache.cached_traces > 0
 
 
 def test_attached_mode_actually_traps():

@@ -59,8 +59,8 @@ class TestPromotion:
         t = vm.telemetry
         assert t.compiled_traces >= 1
         assert t.compiled_trace_hits > 0
-        assert vm.sequencer._compiled
-        trace = next(iter(vm.sequencer._compiled.values()))
+        assert vm.sequencer.compiled
+        trace = next(iter(vm.sequencer.compiled.values()))
         assert trace.hits > 0
         assert len(trace.steps) >= 2
 
@@ -68,7 +68,7 @@ class TestPromotion:
         _, vm = run_fpvm(LOOP_SRC, FPVMConfig.seq_short(trace_compile_threshold=0))
         assert vm.telemetry.compiled_traces == 0
         assert vm.telemetry.compiled_trace_hits == 0
-        assert not vm.sequencer._compiled
+        assert not vm.sequencer.compiled
 
     def test_uops_off_disables_promotion(self):
         _, vm = run_fpvm(
@@ -100,8 +100,8 @@ class TestEviction:
         design), so the epoch flush is the only thing standing between
         us and a silently skipped correctness hook."""
         cpu, vm = run_fpvm(LOOP_SRC, FPVMConfig.seq_short(trace_compile_threshold=2))
-        assert vm.sequencer._compiled
-        trace = next(iter(vm.sequencer._compiled.values()))
+        assert vm.sequencer.compiled
+        trace = next(iter(vm.sequencer.compiled.values()))
         mid_addr = trace.steps[1][0]  # strictly inside the trace body
 
         assert cpu.bp_trap_count == 0
@@ -121,5 +121,5 @@ class TestEviction:
         # again strictly inside a trace body.
         assert vm.sequencer._epoch == vm.program.patch_epoch
         assert mid_addr not in {
-            a for t in vm.sequencer._compiled.values() for a, _ in t.steps[1:]
+            a for t in vm.sequencer.compiled.values() for a, _ in t.steps[1:]
         }

@@ -84,9 +84,13 @@ lp:
 """
 
 
-def _loop_cpu(uops: bool) -> CPU:
-    cpu = CPU(assemble(_LOOP_SRC), uops=uops)
+def _loop_cpu(uops: bool, chain: bool = False, trace: bool = False) -> CPU:
+    cpu = CPU(assemble(_LOOP_SRC), uops=uops, chain=chain, trace=trace)
     cpu.kernel = LinuxKernel()
+    if trace:
+        # stabilize immediately so even small budgets exercise the
+        # fused-trace budget accounting, not just plain chaining.
+        cpu.trace_stabilize_threshold = 1
     return cpu
 
 
@@ -141,10 +145,16 @@ class TestRunQuantum:
         assert taken == reference.instruction_count
 
     @pytest.mark.parametrize("budget", [1, 2, 3, 7, 64])
-    def test_budget_never_exceeded(self, budget):
-        """Superblock bodies must not run past the budget edge — the
-        engine falls back to single-stepping instead."""
-        cpu = _loop_cpu(True)
+    @pytest.mark.parametrize("chain,trace",
+                             [(False, False), (True, False), (True, True)],
+                             ids=["uops", "chained", "traced"])
+    def test_budget_never_exceeded(self, budget, chain, trace):
+        """Superblock bodies — and fused trace closures — must not run
+        past the budget edge: the engine falls back to single-stepping
+        (or side-exits the trace) instead.  The whole ledger must also
+        match the stepwise seed: exact budget accounting is worthless
+        if the batched run books different cycles or traps."""
+        cpu = _loop_cpu(True, chain=chain, trace=trace)
         total = 0
         while not cpu.halted:
             taken = cpu.run_quantum(budget)
@@ -153,6 +163,12 @@ class TestRunQuantum:
         reference = _loop_cpu(False)
         reference.run()
         assert total == reference.instruction_count
+        # trap/cycle ledger parity with the stepwise seed.
+        assert cpu.instruction_count == reference.instruction_count
+        assert cpu.cycles == reference.cycles
+        assert cpu.work_cycles == reference.work_cycles
+        assert cpu.fp_trap_count == reference.fp_trap_count
+        assert cpu.bp_trap_count == reference.bp_trap_count
 
     def test_halted_cpu_returns_zero(self):
         cpu = _loop_cpu(True)

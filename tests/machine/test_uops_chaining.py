@@ -67,7 +67,11 @@ def _program(src: str):
 
 
 def _cpu(program, uops_on=True, chain=None, config=None):
-    cpu = CPU(program, uops=uops_on, chain=chain)
+    # trace=False: this file asserts *chained-tier* internals (link
+    # counters, chain lengths, break reasons); the trace JIT sitting
+    # above it would absorb the loops these numbers count.  The traced
+    # tier has its own suite in test_tracejit.py.
+    cpu = CPU(program, uops=uops_on, chain=chain, trace=False)
     kernel = LinuxKernel()
     cpu.kernel = kernel
     if config is not None:
