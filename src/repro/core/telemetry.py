@@ -181,6 +181,87 @@ def aggregate_trace_stats(stats_dicts, cache_stats: dict | None = None) -> dict:
     return out
 
 
+def percentile(values, q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) over an
+    unsorted sequence — the p50/p99 the fleet front-end reports.
+    Returns 0.0 for an empty sequence."""
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    if len(vals) == 1:
+        return float(vals[0])
+    rank = (q / 100.0) * (len(vals) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(vals) - 1)
+    frac = rank - lo
+    return float(vals[lo]) + (float(vals[hi]) - float(vals[lo])) * frac
+
+
+def aggregate_fleet_stats(
+    rows,
+    wall_seconds: float,
+    workers: int,
+    retries: int = 0,
+    crashes: int = 0,
+    rejected: int = 0,
+    failed: int = 0,
+) -> dict:
+    """Merge per-guest result rows into the fleet-level summary.
+
+    ``rows`` is one dict per completed guest with at least ``seconds``
+    (guest latency), ``cycles``, ``instructions``, ``fp_traps``,
+    ``bp_traps``, ``cow_faults``, ``worker`` (worker id), and
+    optionally ``uop`` (the guest's merged ``UopStats.as_dict()``).
+    Aggregation is exact — every guest's ledger is summed, never
+    sampled — so fleet totals reconcile against serial execution to
+    the cycle (the Mhatre & Chandran exactness property).  The
+    per-worker section carries the warm-cache reuse rates: superblock
+    hit rate (block dispatches served from cache vs built) and trace
+    code-cache hit rate (compiles served from the shared source cache).
+    """
+    latencies = [r["seconds"] for r in rows]
+    per_worker: dict = {}
+    for r in rows:
+        w = per_worker.setdefault(r["worker"], {
+            "guests": 0, "cycles": 0, "instructions": 0, "cow_faults": 0,
+            "block_runs": 0, "blocks_built": 0,
+            "trace_compiles": 0, "trace_code_hits": 0, "trace_runs": 0,
+        })
+        w["guests"] += 1
+        w["cycles"] += r["cycles"]
+        w["instructions"] += r["instructions"]
+        w["cow_faults"] += r.get("cow_faults", 0)
+        uop = r.get("uop") or {}
+        for key in ("block_runs", "blocks_built", "trace_compiles",
+                    "trace_code_hits", "trace_runs"):
+            w[key] += uop.get(key, 0)
+    for w in per_worker.values():
+        dispatches = w["block_runs"] + w["blocks_built"]
+        w["superblock_hit_rate"] = (w["block_runs"] / dispatches
+                                    if dispatches else 0.0)
+        w["trace_cache_hit_rate"] = (w["trace_code_hits"] / w["trace_compiles"]
+                                     if w["trace_compiles"] else 0.0)
+    return {
+        "guests": len(rows),
+        "workers": workers,
+        "wall_seconds": wall_seconds,
+        "guests_per_sec": len(rows) / wall_seconds if wall_seconds > 0 else 0.0,
+        "p50_latency": percentile(latencies, 50),
+        "p99_latency": percentile(latencies, 99),
+        "max_latency": max(latencies) if latencies else 0.0,
+        "cycles": sum(r["cycles"] for r in rows),
+        "instructions": sum(r["instructions"] for r in rows),
+        "fp_traps": sum(r.get("fp_traps", 0) for r in rows),
+        "bp_traps": sum(r.get("bp_traps", 0) for r in rows),
+        "cow_faults": sum(r.get("cow_faults", 0) for r in rows),
+        "retries": retries,
+        "crashes": crashes,
+        "rejected": rejected,
+        "failed": failed,
+        "per_worker": {w: per_worker[w] for w in sorted(per_worker)},
+    }
+
+
 @dataclass
 class Telemetry:
     """Everything a run reports besides the ledger."""

@@ -1,0 +1,31 @@
+"""Fleet-scale serving: multiprocess guest fleets.
+
+Public surface:
+
+- :class:`~repro.fleet.jobs.GuestJob` / :func:`~repro.fleet.jobs.make_batch`
+  describe work; :class:`~repro.fleet.jobs.GuestResult` is the per-guest
+  ledger that comes back.
+- :class:`~repro.fleet.scheduler.FleetScheduler` runs a batch across
+  worker processes (or in-process with ``workers=0``) under
+  :class:`~repro.fleet.scheduler.TenantQuota` admission control and
+  returns a :class:`~repro.fleet.scheduler.FleetReport`.
+- :func:`~repro.fleet.worker.run_guest` executes a single guest — with a
+  warm :class:`~repro.fleet.worker.WorkloadTemplate` (shared program,
+  COW image, warm caches) or cold as the serial oracle.
+"""
+
+from repro.fleet.jobs import GuestJob, GuestResult, make_batch
+from repro.fleet.scheduler import FleetReport, FleetScheduler, TenantQuota
+from repro.fleet.worker import WorkloadTemplate, get_template, run_guest
+
+__all__ = [
+    "FleetReport",
+    "FleetScheduler",
+    "GuestJob",
+    "GuestResult",
+    "TenantQuota",
+    "WorkloadTemplate",
+    "get_template",
+    "make_batch",
+    "run_guest",
+]

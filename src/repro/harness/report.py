@@ -162,6 +162,43 @@ def render_magic_costs(costs, title: str) -> str:
     return "\n".join(lines)
 
 
+def render_fleet(fleet: dict, title: str) -> str:
+    """Fleet front-end summary: throughput, latency percentiles, COW
+    and failure counters, then per-worker warm-cache reuse rates."""
+    lines = [title, ""]
+    lines.append(f"  guests completed:     {fleet['guests']:>10}"
+                 f"   (workers: {fleet['workers']})")
+    lines.append(f"  wall seconds:         {fleet['wall_seconds']:>10.3f}")
+    lines.append(f"  guests/sec:           {fleet['guests_per_sec']:>10.1f}")
+    lines.append(f"  guest latency p50:    {fleet['p50_latency'] * 1e3:>10.2f} ms")
+    lines.append(f"  guest latency p99:    {fleet['p99_latency'] * 1e3:>10.2f} ms")
+    lines.append(f"  guest latency max:    {fleet['max_latency'] * 1e3:>10.2f} ms")
+    lines.append(f"  simulated cycles:     {fleet['cycles']:>10}")
+    lines.append(f"  instructions:         {fleet['instructions']:>10}")
+    lines.append(f"  fp/bp traps:          {fleet['fp_traps']:>10} /"
+                 f" {fleet['bp_traps']}")
+    lines.append(f"  COW page faults:      {fleet['cow_faults']:>10}")
+    lines.append(f"  crashes/retries:      {fleet['crashes']:>10} /"
+                 f" {fleet['retries']}")
+    lines.append(f"  rejected/failed:      {fleet['rejected']:>10} /"
+                 f" {fleet['failed']}")
+    per_worker = fleet.get("per_worker") or {}
+    if per_worker:
+        lines.append("")
+        header = (f"  {'worker':<8}{'guests':>8}{'instr':>12}{'cow':>8}"
+                  f"{'sb hit':>9}{'trace hit':>11}")
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for wid, w in per_worker.items():
+            label = "inline" if wid == -1 else str(wid)
+            lines.append(
+                f"  {label:<8}{w['guests']:>8}{w['instructions']:>12}"
+                f"{w['cow_faults']:>8}{w['superblock_hit_rate'] * 100:>8.1f}%"
+                f"{w['trace_cache_hit_rate'] * 100:>10.1f}%"
+            )
+    return "\n".join(lines)
+
+
 def render_patch_sites(rows, title: str) -> str:
     lines = [title, ""]
     header = f"{'workload':<14}{'static sites':>13}{'profiler':>10}{'subset?':>9}"

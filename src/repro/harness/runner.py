@@ -46,6 +46,11 @@ class HostPerf:
     #: fused trace-JIT summary (telemetry.aggregate_trace_stats):
     #: compiles/recompiles, side-exit breakdown, trace-length histogram.
     trace: dict | None = None
+    #: fleet summary (telemetry.aggregate_fleet_stats) when this perf
+    #: record describes a multiprocess fleet batch rather than one run:
+    #: guests/sec, p50/p99 guest latency, COW faults, retries/crashes,
+    #: and per-worker warm-cache hit rates.
+    fleet: dict | None = None
 
     @property
     def ips(self) -> float:
@@ -321,6 +326,32 @@ def run_fpvm(
         program=program,
         host=host,
     )
+
+
+def run_fleet(
+    workload: str,
+    guests: int,
+    workers: int = 2,
+    scale: int | None = None,
+    quantum: int = 64,
+    quotas: dict | None = None,
+    **kw,
+):
+    """Run a homogeneous fleet batch and return its FleetReport with
+    ``report.host`` filled in: a fleet-level :class:`HostPerf` whose
+    ``seconds`` is batch wall-clock, ``instructions`` is the exact sum
+    of every guest's ledger, and ``fleet`` carries guests/sec, p50/p99
+    latency, and per-worker cache-reuse rates."""
+    from repro.fleet import FleetScheduler, make_batch
+
+    jobs = make_batch(workload, guests, scale=scale, quantum=quantum, **kw)
+    report = FleetScheduler(workers=workers, quotas=quotas).run(jobs)
+    report.host = HostPerf(
+        seconds=report.wall_seconds,
+        instructions=report.fleet["instructions"],
+        fleet=report.fleet,
+    )
+    return report
 
 
 def run_comparison(

@@ -42,6 +42,8 @@ class Process:
         uops: bool | None = None,
         chain: bool | None = None,
         trace: bool | None = None,
+        image=None,
+        sb_cache=None,
     ):
         from repro.machine.costs import DEFAULT_COSTS
         from repro.core.telemetry import SchedulerStats
@@ -50,8 +52,16 @@ class Process:
         self.program = program
         self.costs = costs or DEFAULT_COSTS
         self.max_instructions = max_instructions
-        main = CPU(program, self.costs, max_instructions, uops=uops,
-                   chain=chain, trace=trace)
+        if image is not None:
+            # fleet path: the main thread's memory is a copy-on-write
+            # clone of a pre-loaded template image (see CPU.from_image)
+            # instead of a fresh load of the same bytes.
+            main = CPU.from_image(program, image, self.costs,
+                                  max_instructions, uops=uops, chain=chain,
+                                  trace=trace)
+        else:
+            main = CPU(program, self.costs, max_instructions, uops=uops,
+                       chain=chain, trace=trace)
         main.tid = 0
         main.process = self
         #: the process-wide superblock cache: one object — one
@@ -59,7 +69,9 @@ class Process:
         #: patch made by any thread invalidates every thread's cached
         #: blocks (and chain links) at once.  Installed on each CPU
         #: before its engine exists (engines capture it at creation).
-        self.sb_cache = SuperblockCache()
+        #: A fleet worker passes its warm per-program cache in instead,
+        #: sharing invalidation state and bounds across its guests.
+        self.sb_cache = sb_cache if sb_cache is not None else SuperblockCache()
         main._sb_cache = self.sb_cache
         self.threads: list[CPU] = [main]
         self.mem = main.mem

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import os
 import struct
+from collections import OrderedDict
 
 from repro.machine.isa import GPR_IDS, Imm, Label, Mem, OpClass, Reg, Xmm
 from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE, PROT_READ, PROT_WRITE
@@ -724,20 +725,57 @@ def _relower(cpu, blocks):
 
 #: source text -> code object.  Trace codegen is deterministic over the
 #: program layout, so repeated runs of the same workload (benchmark
-#: reps, differential tiers, test repetitions) regenerate byte-identical
-#: source; caching the ``compile()`` makes recompiles near-free.  The
-#: exec namespace is always fresh, so cached code never aliases state.
-_CODE_CACHE: dict[str, object] = {}
-_CODE_CACHE_CAP = 256
+#: reps, differential tiers, fleet guests sharing a worker's program
+#: template) regenerate byte-identical source; caching the
+#: ``compile()`` makes recompiles near-free.  The exec namespace is
+#: always fresh, so cached code never aliases state.
+#:
+#: The cache is a true LRU bounded by ``FPVM_TRACE_CACHE_CAP``: a
+#: long-lived fleet worker cycling through many distinct programs must
+#: not grow compiled-closure memory without limit.  Hits, misses, and
+#: evictions are module-level counters; the uop engine snapshots them
+#: around each compile so they surface through ``UopStats`` (and from
+#: there the per-worker fleet telemetry).
+_CODE_CACHE: "OrderedDict[str, object]" = OrderedDict()
+
+CODE_CACHE_HITS = 0
+CODE_CACHE_MISSES = 0
+CODE_CACHE_EVICTIONS = 0
+
+
+def code_cache_cap() -> int:
+    """``FPVM_TRACE_CACHE_CAP``: max distinct compiled trace sources
+    kept (default 256, minimum 1)."""
+    try:
+        return max(1, int(os.environ.get("FPVM_TRACE_CACHE_CAP", "256")))
+    except ValueError:
+        return 256
+
+
+def code_cache_stats() -> dict:
+    return {
+        "size": len(_CODE_CACHE),
+        "cap": code_cache_cap(),
+        "hits": CODE_CACHE_HITS,
+        "misses": CODE_CACHE_MISSES,
+        "evictions": CODE_CACHE_EVICTIONS,
+    }
 
 
 def _compile_source(source: str, entry: int):
+    global CODE_CACHE_HITS, CODE_CACHE_MISSES, CODE_CACHE_EVICTIONS
     code = _CODE_CACHE.get(source)
-    if code is None:
-        if len(_CODE_CACHE) >= _CODE_CACHE_CAP:
-            _CODE_CACHE.clear()
-        code = compile(source, f"<trace@{entry:#x}>", "exec")
-        _CODE_CACHE[source] = code
+    if code is not None:
+        _CODE_CACHE.move_to_end(source)
+        CODE_CACHE_HITS += 1
+        return code
+    CODE_CACHE_MISSES += 1
+    cap = code_cache_cap()
+    while len(_CODE_CACHE) >= cap:
+        _CODE_CACHE.popitem(last=False)
+        CODE_CACHE_EVICTIONS += 1
+    code = compile(source, f"<trace@{entry:#x}>", "exec")
+    _CODE_CACHE[source] = code
     return code
 
 

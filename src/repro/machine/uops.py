@@ -58,6 +58,7 @@ invalidated wholesale — links, demotion state included — whenever
 
 from __future__ import annotations
 
+import itertools
 import math
 import os
 import struct
@@ -1347,6 +1348,11 @@ class Superblock:
         self.chain_shorts = 0
 
 
+#: process-wide allocator for SuperblockCache view keys (see
+#: :meth:`SuperblockCache._key`).
+_VIEW_KEYS = itertools.count(1)
+
+
 class SuperblockCache:
     """The per-process superblock cache: one object shared by every
     thread CPU of a :class:`~repro.machine.process.Process` (a
@@ -1395,13 +1401,43 @@ class SuperblockCache:
         #: compiled traces (both tiers) killed by flushes/evictions.
         self.dropped_traces = 0
 
+    @staticmethod
+    def _key(cpu) -> int:
+        """A stable per-CPU view key.  ``id(cpu)`` is unsafe for caches
+        that outlive their CPUs (a fleet worker hosts many sequential
+        guests and CPython reuses object addresses); a monotonically
+        assigned token can never collide with a dead guest's view."""
+        key = getattr(cpu, "_sb_view_key", None)
+        if key is None:
+            key = cpu._sb_view_key = next(_VIEW_KEYS)
+        return key
+
     def view(self, cpu) -> dict[int, Superblock]:
         """The per-thread entry->Superblock map for ``cpu``."""
-        return self.views.setdefault(id(cpu), {})
+        return self.views.setdefault(self._key(cpu), {})
 
     def trace_view(self, cpu) -> dict:
         """The per-thread entry->ChainTrace map for ``cpu``."""
-        return self.trace_views.setdefault(id(cpu), {})
+        return self.trace_views.setdefault(self._key(cpu), {})
+
+    def release(self, cpu) -> None:
+        """Drop every view owned by ``cpu`` (blocks, chain links, and
+        compiled traces).  Fleet workers call this after each guest
+        retires so a long-lived warm cache never accumulates the views
+        of dead guests; the shared ``seq_traces`` and the process-wide
+        epoch mirror stay warm for the next guest."""
+        key = getattr(cpu, "_sb_view_key", None)
+        if key is None:
+            return
+        view = self.views.pop(key, None)
+        if view:
+            for blk in view.values():
+                self.unlinks += len(blk.links)
+            self.cached_blocks -= len(view)
+        tview = self.trace_views.pop(key, None)
+        if tview:
+            self.dropped_traces += len(tview)
+            self.cached_traces -= len(tview)
 
     def _drop_all(self) -> None:
         for view in self.views.values():
@@ -1472,7 +1508,8 @@ class UopStats:
                  "chain_breaks", "chain_lengths", "chain_demotions",
                  "trace_compiles", "trace_recompiles", "trace_runs",
                  "trace_iters", "trace_steps", "trace_exits",
-                 "trace_lengths", "trace_demotions")
+                 "trace_lengths", "trace_demotions",
+                 "trace_code_hits", "trace_code_evictions")
 
     def __init__(self) -> None:
         self.blocks_built = 0
@@ -1520,6 +1557,12 @@ class UopStats:
         self.trace_lengths: Counter = Counter()
         #: traces torn down after sustained early side exits.
         self.trace_demotions = 0
+        #: compiles served from the shared source->code cache (the
+        #: warm-start path a fleet worker's later guests ride).
+        self.trace_code_hits = 0
+        #: LRU evictions this engine's compiles forced out of the
+        #: bounded code cache (FPVM_TRACE_CACHE_CAP).
+        self.trace_code_evictions = 0
 
     @property
     def uop_hit_rate(self) -> float:
@@ -1553,6 +1596,8 @@ class UopStats:
             "trace_exits": dict(self.trace_exits),
             "trace_lengths": dict(self.trace_lengths),
             "trace_demotions": self.trace_demotions,
+            "trace_code_hits": self.trace_code_hits,
+            "trace_code_evictions": self.trace_code_evictions,
         }
 
 
@@ -1620,7 +1665,11 @@ class UopEngine:
         traces = self._traces
         if entry in traces or len(traces) >= tracejit.MAX_TRACES:
             return
+        hits0 = tracejit.CODE_CACHE_HITS
+        evict0 = tracejit.CODE_CACHE_EVICTIONS
         tr = tracejit.compile_trace(self.cpu, blocks)
+        self.stats.trace_code_hits += tracejit.CODE_CACHE_HITS - hits0
+        self.stats.trace_code_evictions += tracejit.CODE_CACHE_EVICTIONS - evict0
         self._trace_heat.pop(entry, None)
         if tr is None:
             self._trace_backoff[entry] = tracejit.BACKOFF_CAP

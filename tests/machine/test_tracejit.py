@@ -394,3 +394,82 @@ class TestDemotionCycle:
         engine = cpu._uop_engine
         assert engine._trace_backoff.get(
             prog.symbols["top"]) == tracejit.BACKOFF_CAP
+
+
+class TestCodeCacheLRU:
+    """The bounded source->code LRU behind ``_compile_source``: cap
+    enforcement via ``FPVM_TRACE_CACHE_CAP``, hit/miss/eviction
+    counters, and their surfacing through ``UopStats``."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self):
+        saved = dict(tracejit._CODE_CACHE)
+        tracejit._CODE_CACHE.clear()
+        yield
+        tracejit._CODE_CACHE.clear()
+        tracejit._CODE_CACHE.update(saved)
+
+    @staticmethod
+    def _stats_delta():
+        return (tracejit.CODE_CACHE_HITS, tracejit.CODE_CACHE_MISSES,
+                tracejit.CODE_CACHE_EVICTIONS)
+
+    def test_identical_source_hits(self):
+        src = "x = 1\n"
+        h0, m0, _ = self._stats_delta()
+        c1 = tracejit._compile_source(src, 0x1000)
+        c2 = tracejit._compile_source(src, 0x1000)
+        h1, m1, _ = self._stats_delta()
+        assert c1 is c2
+        assert (h1 - h0, m1 - m0) == (1, 1)
+
+    def test_cap_evicts_lru_first(self, monkeypatch):
+        monkeypatch.setenv("FPVM_TRACE_CACHE_CAP", "2")
+        assert tracejit.code_cache_cap() == 2
+        e0 = tracejit.CODE_CACHE_EVICTIONS
+        tracejit._compile_source("a = 1\n", 0)
+        tracejit._compile_source("b = 1\n", 0)
+        # touch 'a' so 'b' becomes least-recently-used
+        tracejit._compile_source("a = 1\n", 0)
+        tracejit._compile_source("c = 1\n", 0)
+        assert tracejit.CODE_CACHE_EVICTIONS - e0 == 1
+        assert "a = 1\n" in tracejit._CODE_CACHE
+        assert "b = 1\n" not in tracejit._CODE_CACHE
+        assert len(tracejit._CODE_CACHE) == 2
+
+    def test_cap_floor_and_bad_values(self, monkeypatch):
+        monkeypatch.setenv("FPVM_TRACE_CACHE_CAP", "0")
+        assert tracejit.code_cache_cap() == 1
+        monkeypatch.setenv("FPVM_TRACE_CACHE_CAP", "nonsense")
+        assert tracejit.code_cache_cap() == 256
+
+    def test_stats_shape(self):
+        stats = tracejit.code_cache_stats()
+        assert set(stats) == {"size", "cap", "hits", "misses", "evictions"}
+
+    def test_uop_stats_surface_code_cache_counters(self):
+        """A second CPU compiling the same trace source must record the
+        reuse in its own UopStats (the per-worker fleet telemetry)."""
+        prog = _program(LOOP_SRC, n=200)
+        first = _cpu(prog, threshold=1)
+        first.run()
+        assert first.uop_stats.trace_compiles > 0
+        assert first.uop_stats.trace_code_hits == 0
+        second = _cpu(prog, threshold=1)
+        second.run()
+        assert second.uop_stats.trace_code_hits > 0
+        assert "trace_code_hits" in second.uop_stats.as_dict()
+        assert "trace_code_evictions" in second.uop_stats.as_dict()
+
+    def test_eviction_pressure_surfaces_in_uop_stats(self, monkeypatch):
+        """With a cap of 1, compiling two distinct traces back-to-back
+        must record an eviction against the engine that triggered it."""
+        monkeypatch.setenv("FPVM_TRACE_CACHE_CAP", "1")
+        prog_a = _program(LOOP_SRC, n=200)
+        prog_b = _program(CVT_SRC, n=200)
+        cpu_a = _cpu(prog_a, threshold=1)
+        cpu_a.run()
+        cpu_b = _cpu(prog_b, threshold=1)
+        cpu_b.run()
+        assert cpu_b.uop_stats.trace_code_evictions > 0
+        assert len(tracejit._CODE_CACHE) == 1
