@@ -138,6 +138,118 @@ def bench_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
     return row
 
 
+#: patch-churn row: scheduler quantum, and K — re-patch every K quanta.
+CHURN_QUANTUM = 64
+CHURN_QUANTA = 25
+#: (full_scale, quick_scale) for the churn row's lorenz guest.  The
+#: quick scale must be long enough to amortize trace compilation, or
+#: the traced-under-churn speedup floor measures warmup instead.
+CHURN_SCALES = (2000, 600)
+
+
+def _churn_tramp(cpu, rip):
+    """Inert pre-hook: the churn is about patch *events*, not hook work."""
+
+
+def churn_one(scale: int, reps: int = REPS, quantum: int = CHURN_QUANTUM,
+              every: int = CHURN_QUANTA) -> dict:
+    """The ``patch_churn`` row: lorenz with a patch re-applied at a
+    startup-only site every ``every`` scheduler quanta.
+
+    Quantum boundaries land at identical retirement counts in every
+    tier, so all four tiers see the same patch-event schedule and must
+    stay bit-identical.  The site executes only once (before the first
+    churn), so the events are pure invalidation traffic: under per-site
+    invalidation the hot loop's superblocks, chains, and fused traces
+    survive every event (``survived_blocks``), keeping the traced tier
+    fast under churn — the wholesale-flush scheme would recompile the
+    world every ``every`` quanta instead.
+    """
+    from repro.harness.runner import _cpu_chain_summary, _cpu_trace_summary
+    from repro.kernel.kernel import LinuxKernel
+    from repro.machine.cpu import CPU
+    from repro.workloads import build_program
+
+    runs = {}
+    for label, (uops, chain, trace) in TIERS.items():
+        best = None
+        for _ in range(reps):
+            program = build_program("lorenz", scale)
+            cpu = CPU(program, uops=uops, chain=chain, trace=trace)
+            cpu.kernel = LinuxKernel()
+            site = program.entry
+            churns = 0
+            quanta = 0
+            t0 = time.perf_counter()
+            while not cpu.halted:
+                cpu.run_quantum(quantum)
+                quanta += 1
+                if quanta % every == 0 and not cpu.halted:
+                    if churns:
+                        program.unpatch(site)
+                    program.patch_call(site, _churn_tramp)
+                    churns += 1
+            seconds = time.perf_counter() - t0
+            if best is None or seconds < best[0]:
+                best = (seconds, cpu, churns)
+        runs[label] = best
+
+    interp_secs, interp_cpu, churns = runs["interp"]
+    if not churns:
+        raise AssertionError(
+            f"patch_churn: zero churn events at scale {scale} — the run "
+            f"is too short for quantum {quantum} x {every}")
+    for label in ("uops", "chained", "traced"):
+        _, other, other_churns = runs[label]
+        identical = (
+            interp_cpu.cycles == other.cycles
+            and interp_cpu.instruction_count == other.instruction_count
+            and interp_cpu.output == other.output
+            and churns == other_churns
+        )
+        if not identical:
+            raise AssertionError(
+                f"patch_churn: {label} tier diverged from the interpreter "
+                f"under churn (cycles {interp_cpu.cycles} vs {other.cycles})"
+            )
+
+    traced_cpu = runs["traced"][1]
+    stats = traced_cpu.uop_stats.as_dict()
+    if not stats.get("survived_blocks"):
+        raise AssertionError(
+            "patch_churn: zero superblocks survived a sync — per-site "
+            "invalidation is silently degraded to a wholesale flush")
+    if not stats.get("trace_compiles"):
+        raise AssertionError(
+            "patch_churn: traced tier compiled zero traces under churn")
+    uops_secs, uops_cpu, _ = runs["uops"]
+    chained_secs, chained_cpu, _ = runs["chained"]
+    traced_secs = runs["traced"][0]
+    n = interp_cpu.instruction_count
+    return {
+        "workload": "patch_churn",
+        "scale": scale,
+        "instructions": n,
+        "simulated_cycles": uops_cpu.cycles,
+        "churn_events": churns,
+        "identical_results": True,
+        "interp_seconds": interp_secs,
+        "interp_ips": n / interp_secs,
+        "uops_seconds": uops_secs,
+        "uops_ips": n / uops_secs,
+        "speedup": interp_secs / uops_secs,
+        "chained_seconds": chained_secs,
+        "chained_ips": n / chained_secs,
+        "chain_speedup": interp_secs / chained_secs,
+        "traced_seconds": traced_secs,
+        "traced_ips": n / traced_secs,
+        "trace_speedup": interp_secs / traced_secs,
+        "uop_stats": stats,
+        "chain_stats": _cpu_chain_summary(chained_cpu),
+        "trace_stats": _cpu_trace_summary(traced_cpu),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
@@ -159,6 +271,15 @@ def main(argv: list[str] | None = None) -> int:
               f"traced {row['traced_ips']:>10,.0f} i/s "
               f"({row['trace_speedup']:.2f}x) | "
               f"identical={row['identical_results']}")
+
+    churn_scale = CHURN_SCALES[1] if args.quick else CHURN_SCALES[0]
+    row = churn_one(churn_scale, args.reps)
+    results.append(row)
+    print(f"{'patch_churn':>10}: interp {row['interp_ips']:>10,.0f} i/s | "
+          f"traced {row['traced_ips']:>10,.0f} i/s "
+          f"({row['trace_speedup']:.2f}x under {row['churn_events']} "
+          f"churn events, "
+          f"{row['uop_stats']['survived_blocks']} blocks survived)")
 
     doc = {
         "benchmark": "uop_pipeline",

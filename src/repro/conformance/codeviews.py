@@ -1,0 +1,259 @@
+"""Shadow-code-view conformance: the guest must never observe the host.
+
+FPVM's correctness patching plants pre-hooks in guest text.  With the
+split fetch/data views (``machine/program.py``) the patched stream is
+only ever seen by the front end; guest *loads* from text addresses go
+through memory pages backed by the pristine DATA view.  This module
+holds the guest programs and reports that make that guarantee — the
+"LazyFP axis": *guest must never observe host instrumentation state* —
+checkable end to end:
+
+- :func:`self_checksum_report`: a guest that checksums its own text
+  bytes and prints the sum.  The printed checksum (and the text-region
+  memory digest) must be bit-identical across patch configurations
+  NONE / SEQ / SEQ_SHORT — with real profiler-discovered patches and
+  live compiled traces — and must equal the host-computed checksum of
+  the pristine text.  Under ``FPVM_SHADOW_VIEW=0`` (text backed by the
+  FETCH view) the same guest *must* see the patch markers, proving the
+  shadow view is load-bearing rather than vacuously equal.
+- :func:`self_reading_report`: a guest that reads its own bytes every
+  loop iteration while the uop/chain/trace tiers hold live compiled
+  artifacts — all four tiers must agree bit-for-bit with the seed
+  interpreter, with the trace tier demonstrably active.
+"""
+
+from __future__ import annotations
+
+from repro.core.vm import FPVM, FPVMConfig
+from repro.kernel.kernel import LinuxKernel
+from repro.machine.assembler import assemble
+from repro.machine.cpu import CPU
+from repro.machine.hostlib import install_host_library
+from repro.machine.program import TEXT_BASE
+
+MAX_STEPS = 2_000_000
+
+#: Sums the first ``{words}`` u64 words of its own text section while
+#: doing demotion-prone FP work in the same loop, then prints the
+#: checksum (integer) and the FP accumulator.  Each lap also spills
+#: the FP accumulator and integer-loads the raw bits back into the
+#: checksum — the §5.1 memory-escape pattern — so the profiler plants
+#: a real correctness patch *inside the checksum loop*: the guest is
+#: simultaneously observing its own text bytes and raw FP bit
+#: patterns while the pre-hook fires every iteration.
+CHECKSUM_SRC = """
+.data
+acc: .double 1.0
+tiny: .double 4.9e-324
+spill: .double 0.0
+n: .quad {words}
+.text
+main:
+  movsd xmm0, [rip + acc]
+  movsd xmm1, [rip + tiny]
+  mov rax, 0
+  mov rbx, 0x400000
+  mov rcx, [rip + n]
+top:
+  mov rdx, [rbx]
+  add rax, rdx
+  add rbx, 8
+  addsd xmm0, xmm1
+  mulsd xmm0, xmm1
+  movsd xmm2, [rip + acc]
+  addsd xmm0, xmm2
+  movsd [rip + spill], xmm0
+  mov rdx, [rip + spill]
+  add rax, rdx
+  dec rcx
+  jne top
+  mov rdi, rax
+  call print_i64
+  call print_f64
+  hlt
+"""
+
+#: Reads one word of its own text each lap of a hot FP loop — the
+#: trace tier fuses the loop while the guest keeps observing its own
+#: (pristine) bytes.
+SELF_READING_SRC = """
+.data
+k: .double 1.0001
+n: .quad {n}
+.text
+main:
+  mov rcx, [rip + n]
+  mov rbx, 0x400000
+  mov rax, 0
+  movsd xmm0, [rip + k]
+  movsd xmm1, [rip + k]
+top:
+  mov rdx, [rbx]
+  add rax, rdx
+  mulsd xmm0, xmm1
+  addsd xmm0, xmm1
+  subsd xmm0, xmm1
+  dec rcx
+  jne top
+  mov rdi, rax
+  call print_i64
+  call print_f64
+  hlt
+"""
+
+
+def build_checksum_program(words: int | None = None):
+    """Assemble the self-checksumming guest.  Operand encodings are
+    fixed-width, so a two-pass assembly (measure, then re-assemble with
+    the real word count) converges immediately; by default the guest
+    checksums its entire text section."""
+    if words is None:
+        probe = assemble(CHECKSUM_SRC.format(words=1))
+        words = len(probe.text) // 8
+    program = assemble(CHECKSUM_SRC.format(words=words))
+    install_host_library(program)
+    return program, words
+
+
+def native_reference(words: int) -> tuple[str, ...]:
+    """Ground truth: the same guest run bare — no FPVM attached, no
+    patches anywhere — through the seed interpreter."""
+    program, _ = build_checksum_program(words)
+    cpu = CPU(program, uops=False, chain=False, trace=False)
+    cpu.kernel = LinuxKernel()
+    cpu.run(max_steps=MAX_STEPS)
+    return tuple(cpu.output)
+
+
+def _text_digest(cpu, program) -> str:
+    """SHA-256 of the guest-visible text region (read through memory,
+    like a guest load would)."""
+    import hashlib
+
+    return hashlib.sha256(
+        cpu.mem.read_bytes(TEXT_BASE, len(program.text))).hexdigest()
+
+
+_CONFIGS = {
+    "none": FPVMConfig.none,
+    "seq": FPVMConfig.seq,
+    "seq_short": FPVMConfig.seq_short,
+}
+
+
+def self_checksum_report(trace_threshold: int = 2) -> dict:
+    """Run the self-checksumming guest under NONE / SEQ / SEQ_SHORT
+    with live patching and a low compiled-trace threshold; returns per-
+    config output, patch counts, text digests, and the ground truth."""
+    import hashlib
+
+    report: dict = {"configs": {}}
+    _, words = build_checksum_program()
+    report["words"] = words
+    reference = native_reference(words)
+    report["reference_output"] = reference
+    pristine = None
+    for name, preset in _CONFIGS.items():
+        program, _ = build_checksum_program(words)
+        if pristine is None:
+            pristine = hashlib.sha256(
+                program.data_view.text_bytes()).hexdigest()
+            report["pristine_text_digest"] = pristine
+        cpu = CPU(program)
+        kernel = LinuxKernel()
+        cpu.kernel = kernel
+        vm = FPVM(preset(trace_compile_threshold=trace_threshold)).attach(
+            cpu, kernel)
+        cpu.run(max_steps=MAX_STEPS)
+        report["configs"][name] = {
+            "output": tuple(cpu.output),
+            "checksum": cpu.output[0] if cpu.output else None,
+            "patches": len(program.patches),
+            "patched_sites": dict(vm.patched_sites),
+            "compiled_traces": vm.telemetry.compiled_traces,
+            "text_digest": _text_digest(cpu, program),
+        }
+    outputs = {c["output"] for c in report["configs"].values()}
+    digests = {c["text_digest"] for c in report["configs"].values()}
+    report["bit_identical"] = (
+        outputs == {reference} and digests == {pristine})
+    return report
+
+
+def shadow_view_negative_report(trace_threshold: int = 2) -> dict:
+    """Prove the shadow view is load-bearing, not vacuously equal.
+
+    Re-runs the SEQ config with ``FPVM_SHADOW_VIEW=0`` — guest text
+    backed by the FETCH view, patch markers eagerly pushed into memory
+    — and checks that the self-checksumming guest now *does* observe
+    the instrumentation: its checksum and text digest must diverge
+    from the pristine ground truth."""
+    import hashlib
+    import os
+
+    _, words = build_checksum_program()
+    reference = native_reference(words)
+    program, _ = build_checksum_program(words)
+    pristine = hashlib.sha256(program.data_view.text_bytes()).hexdigest()
+    prior = os.environ.get("FPVM_SHADOW_VIEW")
+    os.environ["FPVM_SHADOW_VIEW"] = "0"
+    try:
+        cpu = CPU(program)
+        kernel = LinuxKernel()
+        cpu.kernel = kernel
+        FPVM(FPVMConfig.seq(trace_compile_threshold=trace_threshold)).attach(
+            cpu, kernel)
+        cpu.run(max_steps=MAX_STEPS)
+    finally:
+        if prior is None:
+            del os.environ["FPVM_SHADOW_VIEW"]
+        else:
+            os.environ["FPVM_SHADOW_VIEW"] = prior
+    digest = _text_digest(cpu, program)
+    report = {
+        "output": tuple(cpu.output),
+        "reference_output": reference,
+        "patches": len(program.patches),
+        "text_digest": digest,
+        "pristine_text_digest": pristine,
+    }
+    report["guest_observed_markers"] = (
+        report["patches"] > 0
+        and report["output"] != reference
+        and digest != pristine
+    )
+    return report
+
+
+def self_reading_report(n: int = 400) -> dict:
+    """Run the self-reading guest through all four execution tiers;
+    returns per-tier output/fingerprint and trace-tier vacuity info."""
+    tiers = {
+        "interp": (False, False, False),
+        "uops": (True, False, False),
+        "chained": (True, True, False),
+        "traced": (True, True, True),
+    }
+    report: dict = {"tiers": {}}
+    for name, (uops, chain, trace) in tiers.items():
+        program = assemble(SELF_READING_SRC.format(n=n))
+        install_host_library(program)
+        cpu = CPU(program, uops=uops, chain=chain, trace=trace)
+        cpu.kernel = LinuxKernel()
+        if trace:
+            cpu.trace_stabilize_threshold = 2
+        cpu.run(max_steps=MAX_STEPS)
+        stats = cpu.uop_stats.as_dict() if cpu.uop_stats else {}
+        report["tiers"][name] = {
+            "output": tuple(cpu.output),
+            "instructions": cpu.instruction_count,
+            "cycles": cpu.cycles,
+            "trace_compiles": stats.get("trace_compiles", 0),
+            "trace_steps": stats.get("trace_steps", 0),
+        }
+    outputs = {t["output"] for t in report["tiers"].values()}
+    fingerprints = {(t["instructions"], t["cycles"])
+                    for t in report["tiers"].values()}
+    report["bit_identical"] = len(outputs) == 1 and len(fingerprints) == 1
+    report["traces_live"] = report["tiers"]["traced"]["trace_steps"] > 0
+    return report

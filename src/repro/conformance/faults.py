@@ -368,6 +368,109 @@ def scheduler_step_limit() -> FaultOutcome:
                         detail="runaway process not stopped")
 
 
+class _CountingTrampoline:
+    """A magic-call pre-hook that only counts its firings — the
+    observable that tells a stale trace from a live patch site."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, cpu, addr):
+        self.calls += 1
+
+
+def _drive_patching(cpu, program, site: int, tramp, k: int,
+                    quantum: int = 64) -> None:
+    """run_quantum() loop that installs ``patch_call(site)`` at the
+    first quantum boundary where at least ``k`` instructions have
+    retired.  Quantum boundaries land at identical retirement counts
+    in every tier, so twin runs see the patch at the same instant."""
+    patched = False
+    steps = 0
+    while not cpu.halted:
+        if not patched and cpu.instruction_count >= k:
+            program.patch_call(site, tramp)
+            patched = True
+        steps += cpu.run_quantum(quantum)
+        if steps > MAX_STEPS:
+            raise StepLimitError(f"patching twin exceeded {MAX_STEPS} steps")
+
+
+def stale_trace_patch() -> FaultOutcome:
+    """A correctness patch lands *inside* a live compiled trace
+    mid-run.  The fault being probed: if per-site invalidation failed
+    to kill the stale trace, the compiled closure would keep executing
+    straight through the new patch site without ever firing the
+    pre-hook — a silent wrong answer.  Detection is twofold: the
+    traced twin's pre-hook fire count must match an interpreter twin
+    patched at the identical retirement boundary, and the cache must
+    report at least one dropped trace."""
+    name = "stale_trace_patch"
+    desc = "patch planted inside a live compiled trace mid-run"
+
+    # Discovery pass: run the traced tier clean to find an instruction
+    # address strictly inside some compiled trace's covered ranges.
+    scout = CPU(build_program("lorenz", 60), uops=True, chain=True,
+                trace=True)
+    scout.trace_stabilize_threshold = 2
+    scout.kernel = LinuxKernel()
+    scout.run(max_steps=MAX_STEPS)
+    total = scout.instruction_count
+    site = None
+    traces = scout._sb_cache.trace_view(scout)
+    for trace in traces.values():
+        for lo, hi in trace.ranges:
+            for addr in range(lo, hi):
+                if addr in scout.program.by_addr and addr != trace.entry:
+                    site = addr
+                    break
+            if site is not None:
+                break
+        if site is not None:
+            break
+    if site is None:
+        return FaultOutcome(name, desc, detected=False, recovered=False,
+                            detail="no compiled trace to plant a patch in")
+
+    k = total // 2
+    twins = {}
+    for tier, flags in (("traced", True), ("interp", False)):
+        program = build_program("lorenz", 60)
+        cpu = CPU(program, uops=flags, chain=flags, trace=flags)
+        if flags:
+            cpu.trace_stabilize_threshold = 2
+        cpu.kernel = LinuxKernel()
+        tramp = _CountingTrampoline()
+        try:
+            _drive_patching(cpu, program, site, tramp, k)
+        except FPVMFaultError as err:
+            return FaultOutcome(name, desc, detected=True, recovered=False,
+                                error=type(err).__name__, detail=str(err))
+        twins[tier] = (cpu, tramp)
+
+    traced_cpu, traced_tramp = twins["traced"]
+    interp_cpu, interp_tramp = twins["interp"]
+    cache = traced_cpu._sb_cache
+    stats = traced_cpu.uop_stats
+    identical = (tuple(traced_cpu.output) == tuple(interp_cpu.output)
+                 and traced_cpu.instruction_count == interp_cpu.instruction_count
+                 and traced_tramp.calls == interp_tramp.calls)
+    exercised = (traced_tramp.calls > 0
+                 and stats.trace_compiles > 0
+                 and cache.dropped_traces >= 1)
+    detail = (f"site={site:#x} hook fired {traced_tramp.calls}x in both "
+              f"tiers, {cache.dropped_traces} stale trace(s) dropped")
+    if identical and exercised:
+        return FaultOutcome(name, desc, detected=True, recovered=True,
+                            detail=detail)
+    return FaultOutcome(
+        name, desc, detected=False, recovered=False,
+        detail=("stale trace executed through patch site: "
+                f"hook traced={traced_tramp.calls} interp={interp_tramp.calls}"
+                f" dropped_traces={cache.dropped_traces}"
+                if not identical or not exercised else detail))
+
+
 #: the registry, in documentation order.
 SCENARIOS = {
     fn.__name__: fn
@@ -384,6 +487,7 @@ SCENARIOS = {
         device_entry_clobbered,
         scheduler_deadlock,
         scheduler_step_limit,
+        stale_trace_patch,
     )
 }
 

@@ -163,11 +163,14 @@ class SequenceEmulator:
     compiled tier lives in the attached CPU's shared
     :class:`~repro.machine.uops.SuperblockCache` (``seq_traces``), so
     sequence traces, superblocks, and fused chain traces share one
-    eviction policy: a ``patch_epoch`` bump drops all three wholesale
-    (a patch appearing mid-trace must terminate emulation, and a stale
-    compiled trace would silently run through it).  The emulator keeps
-    its own epoch mirror as well — stepwise runs never drive the uop
-    engine's cache sync, and ``_heat`` must clear with the traces.
+    eviction policy: per-site invalidation over ``Program.patch_events``
+    drops exactly the artifacts covering a changed patch site (a patch
+    appearing mid-trace must terminate emulation, and a stale compiled
+    trace would silently run through it — so any trace with the site
+    strictly inside its step list goes; unrelated traces stay warm).
+    The emulator keeps its own event cursor as well — stepwise runs
+    never drive the uop engine's cache sync, and stale ``_heat``
+    entries must prune with the traces.
     """
 
     def __init__(self, vm) -> None:
@@ -197,11 +200,24 @@ class SequenceEmulator:
         vm = self.vm
         addr = trap.addr
         compiled = self._trace_cache()
-        epoch = vm.program.patch_epoch
-        if epoch != self._epoch:
-            compiled.clear()
-            self._heat.clear()
-            self._epoch = epoch
+        seq = vm.program.patch_seq
+        if seq != self._epoch:
+            if self._epoch is None or seq < self._epoch:
+                # first observation: adopt the cursor, nothing compiled
+                # under an unseen patch state.
+                pass
+            else:
+                sites = set(vm.program.patch_events[self._epoch:seq])
+                if sites:
+                    for entry in [
+                        e for e, t in compiled.items()
+                        if e in sites or any(a in sites for a, _ in t.steps[1:])
+                    ]:
+                        del compiled[entry]
+                    for key in [k for k in self._heat
+                                if any(a in sites for a in k)]:
+                        del self._heat[key]
+            self._epoch = seq
         trace = compiled.get(addr)
         if trace is not None:
             return self._run_compiled(trace, context)
@@ -317,14 +333,15 @@ class SequenceEmulator:
         vm.charge("decache", vm.costs.decode_cache_hit)  # the failed probe
         vm.charge("decode", vm.costs.decode_miss)
         vm.telemetry.decode_misses += 1
-        raw = vm.program.raw_bytes_at(addr)
+        raw = vm.program.fetch_view.raw_bytes_at(addr)
         return vm.decode_cache.decode_miss(addr, raw)
 
     def _should_stop(self, instr: Instruction, context) -> tuple[bool, str]:
         vm = self.vm
         # Patched instructions carry correctness hooks that emulation
-        # would silently skip: always hand them back to the CPU.
-        if instr.addr in vm.program.patches:
+        # would silently skip: always hand them back to the CPU.  The
+        # FETCH view is the authority on live patches.
+        if instr.addr in vm.program.fetch_view.patches:
             return True, "unsupported"
         if not vm.emulator.supported(instr):
             return True, "unsupported"

@@ -114,6 +114,8 @@ class FPVM:
         self.sequencer = SequenceEmulator(self)
         self._device_handle = None
         self._thread_handles = []
+        #: addr -> patch generation at attach time (per-site map).
+        self.patched_sites: dict[int, int] = {}
         self.process = None
         self.attached = False
         self.uops_enabled = (
@@ -158,14 +160,20 @@ class FPVM:
         if self.config.wrap_foreign:
             install_wrappers(self, self.program, magic=self.config.magic_wraps)
 
-        # Magic page + correctness patches (§5.1, §5.2).
+        # Magic page + correctness patches (§5.1, §5.2).  Patching goes
+        # through the program's per-site generation map: only caches
+        # covering these addresses invalidate, and the guest-visible
+        # DATA view of text stays bit-identical throughout.
         handler_id = correctness.register_demotion_handler(self._magic_demote)
         correctness.map_magic_page(cpu, handler_id)
+        fetch_view = self.program.fetch_view
+        self.patched_sites = {}
         for addr in self._discover_patch_sites():
             if self.config.magic_traps:
                 self.program.patch_call(addr, correctness.MagicTrampoline())
             else:
                 self.program.patch_int3(addr)
+            self.patched_sites[addr] = fetch_view.generation_at(addr)
         self.attached = True
         return self
 
@@ -212,16 +220,26 @@ class FPVM:
         self.attached = False
 
     def _discover_patch_sites(self):
+        """Patch-site discovery runs over the pristine instruction
+        stream — the DATA view's semantics — and every discovered site
+        is validated against it before patching, so discovery can never
+        be perturbed by instrumentation already applied (the profiler
+        copies the program, which resets patch state anyway)."""
         cfg = self.config
+        data_view = self.program.data_view
         if cfg.patch_sites is not None:
-            return sorted(cfg.patch_sites)
-        if cfg.patch_site_source == "profiler":
-            return sorted(profile_patch_sites(self.program))
-        if cfg.patch_site_source == "static":
-            return sorted(find_memory_escapes(self.program).patch_sites)
-        if cfg.patch_site_source == "none":
-            return []
-        raise ValueError(f"bad patch_site_source {cfg.patch_site_source!r}")
+            sites = sorted(cfg.patch_sites)
+        elif cfg.patch_site_source == "profiler":
+            sites = sorted(profile_patch_sites(self.program))
+        elif cfg.patch_site_source == "static":
+            sites = sorted(find_memory_escapes(self.program).patch_sites)
+        elif cfg.patch_site_source == "none":
+            sites = []
+        else:
+            raise ValueError(f"bad patch_site_source {cfg.patch_site_source!r}")
+        for addr in sites:
+            data_view.instruction_at(addr)  # validate against pristine text
+        return sites
 
     # ---------------------------------------------------------- handlers
     def _on_sigfpe(self, signum, context, trap) -> None:

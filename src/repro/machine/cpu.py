@@ -32,7 +32,7 @@ from repro.machine.isa import (
     Xmm,
 )
 from repro.machine.memory import PROT_EXEC, PROT_READ, PROT_WRITE, Memory, PAGE_SIZE
-from repro.machine.program import PatchKind, Program, STACK_TOP
+from repro.machine.program import PatchKind, Program, STACK_TOP, shadow_view_enabled
 from repro.machine.registers import Flags, RegisterFile, rounding_mode, unmasked_status
 from repro.machine.uops import chain_enabled_default, uops_enabled_default
 from repro.machine.tracejit import trace_enabled_default
@@ -129,8 +129,14 @@ class CPU:
         #: (§2.3): every FP-arith instruction faults unconditionally.
         self.fp_disabled = False
         #: one-shot patch suppression so a handler can single-step the
-        #: patched instruction after demoting (paper §2.6).
+        #: patched instruction after demoting (paper §2.6).  Consumed by
+        #: the next fetch dispatch regardless of RIP — a lingering flag
+        #: could silently skip a later pre-hook at that address.
         self._suppress_patch_at: int | None = None
+        #: the FETCH code view: patched instruction stream.  The front
+        #: end fetches exclusively through this — never through raw
+        #: text bytes, which belong to the DATA view backing memory.
+        self._fetch_view = program.fetch_view
         #: run() through the pre-decoded micro-op pipeline (uops.py)
         #: instead of the single-step interpreter loop.  Defaults to the
         #: FPVM_UOPS environment knob; semantics are identical either
@@ -160,18 +166,25 @@ class CPU:
     def _load_image(self) -> None:
         prog = self.program
         # Text: read+exec, NOT writable => excluded from the GC page scan.
+        # The image is backed by the DATA view (pristine bytes) so guest
+        # loads from TEXT_BASE never observe instrumentation; the
+        # FPVM_SHADOW_VIEW=0 escape hatch backs it by the FETCH view
+        # instead, making patches guest-detectable.
+        view = prog.data_view if shadow_view_enabled() else prog.fetch_view
+        text = view.text_bytes()
         addr = prog.text_base
-        end = prog.text_base + len(prog.text)
+        end = prog.text_base + len(text)
         while addr < end:
             self.mem.map_page(addr, PROT_READ | PROT_EXEC)
             addr += PAGE_SIZE
-        if prog.text:
+        if text:
             # finalize needs writability while loading the image
             for pg in range(prog.text_base, end, PAGE_SIZE):
                 self.mem.protect(pg, PROT_READ | PROT_WRITE)
-            self.mem.write_bytes(prog.text_base, prog.text)
+            self.mem.write_bytes(prog.text_base, text)
             for pg in range(prog.text_base, end, PAGE_SIZE):
                 self.mem.protect(pg, PROT_READ | PROT_EXEC)
+        self.mem.bind_code_view(view)
         if prog.data:
             self.mem.write_bytes(prog.data_base, prog.data)
         self.regs.rip = prog.entry
@@ -207,6 +220,9 @@ class CPU:
                        chain=chain, trace=trace)
         cpu.mem = Memory()
         cpu.mem.clone_pages(image)
+        cpu.mem.bind_code_view(
+            program.data_view if shadow_view_enabled() else program.fetch_view
+        )
         cpu.regs.rip = program.entry
         cpu.regs.write_gpr(7, STACK_TOP - 64)  # sentinel already in image
         return cpu
@@ -278,20 +294,29 @@ class CPU:
         delivered; the instruction does not execute this step).  Magic
         pre-hooks run their trampoline in user space and fall through —
         the patched instruction executes natively in this same step.
+
+        Fetch goes exclusively through the FETCH code view; the raw
+        text bytes in memory belong to the DATA view and are never
+        decoded.  The one-shot suppress flag set by
+        :meth:`resume_at` is consumed by this dispatch *regardless* of
+        RIP — a re-delivered trap that resumes somewhere else must not
+        leave a live skip for a later pre-hook at the original address.
         """
         rip = self.regs.rip
-        patch = self.program.patches.get(rip)
-        if patch is not None and self._suppress_patch_at != rip:
+        view = self._fetch_view
+        suppress = self._suppress_patch_at
+        if suppress is not None:
+            self._suppress_patch_at = None
+        patch = view.patches.get(rip)
+        if patch is not None and suppress != rip:
             if patch.kind is PatchKind.INT3:
                 self.bp_trap_count += 1
-                self._deliver(Trap(TrapKind.BP, rip, self.program.by_addr.get(rip)))
+                self._deliver(Trap(TrapKind.BP, rip, view.by_addr.get(rip)))
                 return None
             self.cycles += self.costs.magic_call + self.costs.magic_save_restore
             patch.trampoline(self, rip)
-        if self._suppress_patch_at == rip:
-            self._suppress_patch_at = None
 
-        instr = self.program.by_addr.get(rip)
+        instr = view.by_addr.get(rip)
         if instr is None:
             raise MachineError(f"execution fell into unmapped code at {rip:#x}")
         return instr

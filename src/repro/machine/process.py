@@ -64,10 +64,11 @@ class Process:
                        chain=chain, trace=trace)
         main.tid = 0
         main.process = self
-        #: the process-wide superblock cache: one object — one
-        #: ``patch_epoch`` mirror — shared by every thread CPU, so a
-        #: patch made by any thread invalidates every thread's cached
-        #: blocks (and chain links) at once.  Installed on each CPU
+        #: the process-wide superblock cache: one object — one cursor
+        #: into ``Program.patch_events`` — shared by every thread CPU,
+        #: so a patch made by any thread invalidates every thread's
+        #: blocks/links/traces *covering that site* in one sync while
+        #: unrelated warm state survives.  Installed on each CPU
         #: before its engine exists (engines capture it at creation).
         #: A fleet worker passes its warm per-program cache in instead,
         #: sharing invalidation state and bounds across its guests.

@@ -15,6 +15,7 @@ the ELF binary in the real system:
 from __future__ import annotations
 
 import copy as _copy
+import os
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -66,6 +67,109 @@ class HostFunction:
     fp_ret: bool = False
 
 
+class ViewKind(Enum):
+    """The two shadow views of guest text (virtual-breakpoint model)."""
+
+    #: what the front end executes: pristine encodings plus the patch
+    #: pre-hooks, with patch marker bytes in the guest-visible image.
+    FETCH = "fetch"
+    #: what guest loads from text addresses return: the original bytes,
+    #: bit-identical no matter how much instrumentation is live.
+    DATA = "data"
+
+
+#: guest-visible first byte at a patched site in the FETCH image
+#: (``int3`` / ``call rel32`` opcodes, the e9patch splice).
+_PATCH_MARKERS = {PatchKind.INT3: 0xCC, PatchKind.MAGIC_CALL: 0xE8}
+
+_NO_PATCHES: dict[int, Patch] = {}
+
+_FALSEY = ("0", "false", "off", "no")
+
+
+def shadow_view_enabled(env: str | None = None) -> bool:
+    """Whether guest text memory is backed by the DATA view (default).
+
+    ``FPVM_SHADOW_VIEW=0`` is the escape hatch: text pages are backed
+    by the FETCH view instead, making patches guest-detectable — useful
+    for debugging the instrumentation itself and for conformance tests
+    that prove the shadow view is load-bearing.
+    """
+    if env is None:
+        env = os.environ.get("FPVM_SHADOW_VIEW", "1")
+    return env.strip().lower() not in _FALSEY
+
+
+class CodeView:
+    """One face of the guest text: FETCH (patched) or DATA (pristine).
+
+    Both views decode to the same instruction stream — patches are
+    pre-hook metadata, not byte splices, so ``raw_bytes_at`` always
+    returns a decodable encoding.  They differ in two places:
+
+    - ``patch_at``/``patches``: the FETCH view exposes the live patch
+      table (the front end must deliver pre-hooks); the DATA view
+      reports no patches ever.
+    - ``text_bytes``/``bytes_at``: the guest-visible byte image.  The
+      FETCH image shows the marker byte a binary patcher would have
+      spliced at each patched site; the DATA image is the pristine
+      ``Program.text``.
+
+    The hot fetch path reads ``view.patches`` and ``view.by_addr``
+    directly — both are the program's own dicts (or a shared immutable
+    empty dict for DATA patches), so views add no per-step overhead.
+    """
+
+    __slots__ = ("program", "kind", "patches", "by_addr")
+
+    def __init__(self, program: "Program", kind: ViewKind) -> None:
+        self.program = program
+        self.kind = kind
+        self.patches = program.patches if kind is ViewKind.FETCH else _NO_PATCHES
+        self.by_addr = program.by_addr
+
+    def instruction_at(self, addr: int) -> Instruction:
+        return self.program.instruction_at(addr)
+
+    def raw_bytes_at(self, addr: int) -> bytes:
+        """Decodable encoding of the instruction at ``addr`` (decoder
+        feed on a decode-cache miss) — identical in both views."""
+        return self.program.instruction_at(addr).raw
+
+    def patch_at(self, addr: int) -> Patch | None:
+        return self.patches.get(addr)
+
+    def generation_at(self, addr: int) -> int:
+        """How many patch-state changes have touched ``addr`` as seen
+        through this view (always 0 for DATA)."""
+        if self.kind is ViewKind.DATA:
+            return 0
+        return self.program.patch_gen.get(addr, 0)
+
+    def text_bytes(self) -> bytes:
+        """The guest-visible byte image of the text section."""
+        prog = self.program
+        if self.kind is ViewKind.DATA or not self.patches:
+            return prog.text
+        image = bytearray(prog.text)
+        base = prog.text_base
+        for addr, patch in self.patches.items():
+            off = addr - base
+            if 0 <= off < len(image):
+                image[off] = _PATCH_MARKERS[patch.kind]
+        return bytes(image)
+
+    def bytes_at(self, addr: int, size: int) -> bytes:
+        """``size`` guest-visible bytes starting at ``addr``."""
+        off = addr - self.program.text_base
+        if off < 0:
+            raise ValueError(f"{addr:#x} below text base")
+        return self.text_bytes()[off : off + size]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CodeView {self.kind.value} of {len(self.by_addr)} instrs>"
+
+
 class Program:
     """An assembled binary."""
 
@@ -82,13 +186,24 @@ class Program:
         self.host_functions: dict[int, HostFunction] = {}
         self._next_host_addr = HOST_FUNC_BASE
         self.patches: dict[int, Patch] = {}
-        #: bumped on every patch-state change; superblock and
-        #: compiled-trace caches key on it so a patch added anywhere
-        #: invalidates every cached block wholesale (stale blocks would
-        #: otherwise execute through a patch site without its pre-hook).
-        self.patch_epoch: int = 0
+        #: per-address patch generation: addr -> number of patch-state
+        #: changes that have touched that site.  Caches compare
+        #: generations per site instead of flushing wholesale.
+        self.patch_gen: dict[int, int] = {}
+        #: append-only log of patched addresses, one entry per
+        #: patch-state change.  ``patch_seq`` (== len(patch_events)) is
+        #: the global cursor; consumers remember the last sequence they
+        #: processed and invalidate only the sites in the suffix.
+        self.patch_events: list[int] = []
+        self.patch_seq: int = 0
+        #: callbacks invoked with the patched address on every
+        #: patch-state change (e.g. a Memory with a FETCH-bound text
+        #: image keeping guest-visible bytes in sync).
+        self.patch_listeners: list = []
         #: source line info for diagnostics: addr -> line number.
         self.lines: dict[int, int] = {}
+        self.fetch_view = CodeView(self, ViewKind.FETCH)
+        self.data_view = CodeView(self, ViewKind.DATA)
 
     # ------------------------------------------------------------ build
     def add_instruction(self, instr: Instruction) -> None:
@@ -144,27 +259,46 @@ class Program:
         return addr in self.host_functions
 
     # -------------------------------------------------------- patching
+    @property
+    def patch_epoch(self) -> int:
+        """Compat alias for :attr:`patch_seq`.
+
+        Historic callers keyed caches on a single global epoch; the
+        sequence number preserves their arithmetic (one bump per
+        effective patch-state change) while ``patch_events`` carries
+        the per-site information that makes targeted invalidation
+        possible.
+        """
+        return self.patch_seq
+
+    def _note_patch_change(self, addr: int) -> None:
+        self.patch_gen[addr] = self.patch_gen.get(addr, 0) + 1
+        self.patch_events.append(addr)
+        self.patch_seq += 1
+        for listener in self.patch_listeners:
+            listener(addr)
+
     def patch_int3(self, addr: int) -> None:
         """Insert an ``int3``-style breakpoint in front of ``addr``."""
         self.instruction_at(addr)  # validate
         self.patches[addr] = Patch(PatchKind.INT3)
-        self.patch_epoch += 1
+        self._note_patch_change(addr)
 
     def patch_call(self, addr: int, trampoline) -> None:
         """Insert a magic-trap ``call <trampoline>`` in front of ``addr``."""
         self.instruction_at(addr)
         self.patches[addr] = Patch(PatchKind.MAGIC_CALL, trampoline)
-        self.patch_epoch += 1
+        self._note_patch_change(addr)
 
     def unpatch(self, addr: int) -> None:
         """Remove the pre-hook at ``addr`` (no-op if none)."""
         if self.patches.pop(addr, None) is not None:
-            self.patch_epoch += 1
+            self._note_patch_change(addr)
 
     def clear_patches(self) -> None:
-        if self.patches:
-            self.patches.clear()
-            self.patch_epoch += 1
+        for addr in list(self.patches):
+            del self.patches[addr]
+            self._note_patch_change(addr)
 
     def rebind_symbol(self, name: str, new_addr: int) -> None:
         """Point an existing symbol somewhere else (the Lief move)."""
@@ -213,6 +347,11 @@ class Program:
         clone.host_functions = dict(self.host_functions)
         clone._next_host_addr = self._next_host_addr
         clone.patches = {a: _copy.copy(p) for a, p in self.patches.items()}
-        clone.patch_epoch = self.patch_epoch
+        clone.patch_gen = dict(self.patch_gen)
+        clone.patch_events = list(self.patch_events)
+        clone.patch_seq = self.patch_seq
+        clone.patch_listeners = []
         clone.lines = self.lines
+        clone.fetch_view = CodeView(clone, ViewKind.FETCH)
+        clone.data_view = CodeView(clone, ViewKind.DATA)
         return clone

@@ -140,14 +140,19 @@ class ChainTrace:
     re-raising; :meth:`run` settles from the cell so counters are
     exact before the exception is observable."""
 
-    __slots__ = ("entry", "block_entries", "n_steps", "iter_cost",
+    __slots__ = ("entry", "block_entries", "ranges", "n_steps", "iter_cost",
                  "iter_instrs", "iter_classes", "flat", "fn", "cpu",
                  "source", "runs", "bad_exits", "_x")
 
-    def __init__(self, cpu, entry, block_entries, flat, fn, source, xcell):
+    def __init__(self, cpu, entry, block_entries, flat, fn, source, xcell,
+                 ranges=()):
         self.cpu = cpu
         self.entry = entry
         self.block_entries = block_entries
+        #: ``(start, end)`` address ranges of the fused superblocks
+        #: (end exclusive, tails included); per-site invalidation drops
+        #: the trace iff a patched site falls inside one of them.
+        self.ranges = ranges
         #: per-step (opclass | None, cost, addr); ``None`` marks a tail
         #: closure that performs its own retire accounting.
         self.flat = flat
@@ -906,4 +911,5 @@ def compile_trace(cpu, blocks) -> ChainTrace | None:
     code = _compile_source(source, entry)
     exec(code, g.ns)
     return ChainTrace(cpu, entry, tuple(b.entry for b in blocks),
-                      tuple(g.flat), g.ns["_trace_fn"], source, xcell)
+                      tuple(g.flat), g.ns["_trace_fn"], source, xcell,
+                      ranges=tuple((b.entry, b.end) for b in blocks))

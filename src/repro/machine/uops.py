@@ -7,10 +7,12 @@ instance methods on every simulated step.  This module lowers each
 sequence engine) and binds, per CPU, opclass-specialized execute
 closures whose operand accessors were resolved at bind time.  Straight-
 line runs of micro-ops are strung into cached :class:`Superblock`\\ s
-keyed by entry address; the block cache is invalidated wholesale when
-the program's ``patch_epoch`` changes (any patch added, removed or
-cleared), so patched instructions can never execute through a stale
-block.
+keyed by entry address; the block cache tracks the program's
+``patch_events`` log and invalidates *per site* — only blocks, chain
+links, and compiled traces whose address range covers a changed patch
+site are dropped (any patch added, removed or cleared at that address),
+so patched instructions can never execute through a stale block while
+unrelated warm blocks survive patch churn.
 
 Semantics are bit-for-bit the seed interpreter's:
 
@@ -51,9 +53,10 @@ repeatedly produce short chains (without the quantum budget being the
 cutter) are *demoted* — LuaJIT-style trace-root blacklisting via
 ``Superblock.chain_root`` — and the engine loop stops starting chains
 there while still letting chains pass through them.  Block caches live
-in one per-process :class:`SuperblockCache` shared by every thread,
-invalidated wholesale — links, demotion state included — whenever
-``patch_epoch`` moves.
+in one per-process :class:`SuperblockCache` shared by every thread;
+when ``patch_seq`` moves the cache drops exactly the blocks, links and
+traces covering the changed sites — cross-thread and cross-guest — and
+everything else stays warm.
 """
 
 from __future__ import annotations
@@ -1316,7 +1319,8 @@ class Superblock:
     code, so no engine-loop re-check is needed between the tail and the
     next block.  ``links`` is the per-edge link cache: post-tail RIP ->
     next Superblock, populated lazily by the chain dispatcher and
-    dropped wholesale with the block cache.
+    scrubbed per site with the block cache (edges keyed at a patched
+    address or targeting a dropped block go; the rest survive).
 
     ``chain_root`` gates *starting* a chain here (continuing through
     the block mid-chain only needs ``chainable``).  A chain entry has
@@ -1327,13 +1331,17 @@ class Superblock:
     trace-root blacklisting of trace JITs — and fall back to plain
     engine-loop dispatch until the block cache is rebuilt."""
 
-    __slots__ = ("entry", "body", "classes", "class_counts", "prefix_cost",
-                 "n_body", "tail", "tail_addr", "chainable", "chain_check",
-                 "links", "chain_root", "chain_shorts")
+    __slots__ = ("entry", "end", "body", "classes", "class_counts",
+                 "prefix_cost", "n_body", "tail", "tail_addr", "chainable",
+                 "chain_check", "links", "chain_root", "chain_shorts")
 
     def __init__(self, entry, body, classes, prefix_cost, tail, tail_addr,
-                 chain_grade=0):
+                 chain_grade=0, end=None):
         self.entry = entry
+        #: exclusive end of the address range this block executes
+        #: through (tail included).  Per-site invalidation drops a
+        #: block iff a patched address falls in ``[entry, end)``.
+        self.end = entry if end is None else end
         self.body = body
         self.classes = classes
         self.class_counts = dict(Counter(classes))
@@ -1360,18 +1368,25 @@ class SuperblockCache:
 
     Superblock bodies are closures bound over one CPU's registers and
     memory accessors, so the blocks themselves cannot be shared across
-    threads; what *is* shared is the invalidation state — a single
-    ``epoch`` mirror of ``Program.patch_epoch`` and wholesale eviction
-    of every thread's view (chain links included) the moment any
-    thread's patch activity moves the epoch.  Before this object
-    existed, each engine carried its own epoch sentinel; a patch made
-    by thread A left thread B's blocks cached until B's engine happened
-    to re-check — tolerable only because every dispatch re-entered the
-    engine loop, a property cross-quantum chaining removes.
+    threads; what *is* shared is the invalidation state.  ``epoch`` is
+    the cache's cursor into ``Program.patch_events`` (numerically equal
+    to the last ``patch_seq`` processed, which keeps the historic name
+    honest): when the program's sequence moves, :meth:`sync` walks only
+    the *new* suffix of patched addresses and drops exactly the cached
+    artifacts whose address range covers a changed site — superblocks
+    via ``[entry, end)``, chain links keyed at the site or targeting a
+    dropped block, fused traces via their recorded block ranges, and
+    the sequence emulator's compiled traces by step membership.  Every
+    thread's (and, for a fleet worker's warm cache, every guest's)
+    unrelated blocks survive, turning a patch from a fleet-wide cache
+    flush into a local event.  The per-site walk is still cross-thread
+    sound: a patch made by thread A drops thread B's covering blocks
+    and links in the same sync, exactly like the old wholesale flush.
     """
 
     __slots__ = ("views", "epoch", "capacity", "cached_blocks",
                  "invalidations", "evictions", "unlinks",
+                 "invalidated_blocks", "survived_blocks",
                  "trace_views", "seq_traces", "cached_traces",
                  "dropped_traces")
 
@@ -1382,12 +1397,19 @@ class SuperblockCache:
         self.epoch: int | None = None
         self.capacity = capacity
         self.cached_blocks = 0
-        #: epoch flushes that actually dropped cached blocks.
+        #: syncs that actually dropped cached state (per-site now, so
+        #: a patch with no covering artifact does not count).
         self.invalidations = 0
-        #: capacity evictions (wholesale, like the epoch flush).
+        #: capacity evictions (wholesale, unlike the per-site sync).
         self.evictions = 0
-        #: chain-graph edges destroyed by flushes/evictions.
+        #: chain-graph edges destroyed by invalidation/eviction.
         self.unlinks = 0
+        #: superblocks dropped because their range covered a patched
+        #: site (cumulative across syncs).
+        self.invalidated_blocks = 0
+        #: superblocks that survived a per-site sync (summed per sync —
+        #: under the old epoch scheme this was identically zero).
+        self.survived_blocks = 0
         #: id(cpu) -> {entry: ChainTrace} — the fused trace-JIT tier's
         #: compiled closures; per-CPU like blocks (bound closures), but
         #: evicted by the same epoch policy, in place.
@@ -1454,18 +1476,62 @@ class SuperblockCache:
         self.cached_traces = 0
 
     def sync(self, program) -> bool:
-        """Mirror ``program.patch_epoch``; on any movement drop every
-        thread's blocks (and their chain links) at once.  Returns True
-        when cached state was actually invalidated."""
-        epoch = program.patch_epoch
-        if epoch == self.epoch:
+        """Advance the cursor over ``program.patch_events`` and drop
+        exactly the cached artifacts covering a changed site.  Returns
+        True when cached state was actually invalidated."""
+        seq = program.patch_seq
+        if seq == self.epoch:
             return False
-        stale = self.epoch is not None and self.cached_blocks > 0
-        if stale:
+        if self.epoch is None or seq < self.epoch:
+            # first observation (or a program with a shorter history,
+            # e.g. a fresh fork): adopt the cursor — nothing cached was
+            # built under an unseen patch state.
+            self.epoch = seq
+            return False
+        sites = set(program.patch_events[self.epoch:seq])
+        self.epoch = seq
+        return self._invalidate_sites(sites)
+
+    def _invalidate_sites(self, sites: set) -> bool:
+        """Per-site invalidation across every thread/guest view."""
+        dropped_any = False
+        for view in self.views.values():
+            dead: set[int] = set()
+            for blk in list(view.values()):
+                if any(blk.entry <= a < blk.end for a in sites):
+                    dead.add(id(blk))
+                    del view[blk.entry]
+                    self.unlinks += len(blk.links)
+                    self.cached_blocks -= 1
+                    self.invalidated_blocks += 1
+                    dropped_any = True
+            for blk in view.values():
+                if blk.links:
+                    bad = [rip for rip, nxt in blk.links.items()
+                           if rip in sites or id(nxt) in dead]
+                    for rip in bad:
+                        del blk.links[rip]
+                        self.unlinks += 1
+                        dropped_any = True
+            self.survived_blocks += len(view)
+        for tview in self.trace_views.values():
+            for entry, trace in list(tview.items()):
+                if any(lo <= a < hi for a in sites for lo, hi in trace.ranges):
+                    del tview[entry]
+                    self.cached_traces -= 1
+                    self.dropped_traces += 1
+                    dropped_any = True
+        # Sequence-emulator traces: a site strictly inside the step
+        # list would be emulated through without its pre-hook; a site
+        # at the entry already had its hook delivered before the trap.
+        for entry, trace in list(self.seq_traces.items()):
+            if entry in sites or any(a in sites for a, _ in trace.steps[1:]):
+                del self.seq_traces[entry]
+                self.dropped_traces += 1
+                dropped_any = True
+        if dropped_any:
             self.invalidations += 1
-        self._drop_all()
-        self.epoch = epoch
-        return stale
+        return dropped_any
 
     def evict_all(self) -> None:
         """Drop everything to bound the cache (counts as an eviction,
@@ -1480,6 +1546,8 @@ class SuperblockCache:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "unlinks": self.unlinks,
+            "invalidated_blocks": self.invalidated_blocks,
+            "survived_blocks": self.survived_blocks,
             "cached_traces": self.cached_traces,
             "dropped_traces": self.dropped_traces,
         }
@@ -1509,7 +1577,8 @@ class UopStats:
                  "trace_compiles", "trace_recompiles", "trace_runs",
                  "trace_iters", "trace_steps", "trace_exits",
                  "trace_lengths", "trace_demotions",
-                 "trace_code_hits", "trace_code_evictions")
+                 "trace_code_hits", "trace_code_evictions",
+                 "invalidated_blocks", "survived_blocks")
 
     def __init__(self) -> None:
         self.blocks_built = 0
@@ -1563,6 +1632,12 @@ class UopStats:
         #: LRU evictions this engine's compiles forced out of the
         #: bounded code cache (FPVM_TRACE_CACHE_CAP).
         self.trace_code_evictions = 0
+        #: snapshot of the shared cache's per-site invalidation
+        #: counters as of this engine's last observed sync (process-
+        #: wide totals: blocks dropped for covering a patched site /
+        #: blocks that survived those syncs).
+        self.invalidated_blocks = 0
+        self.survived_blocks = 0
 
     @property
     def uop_hit_rate(self) -> float:
@@ -1598,6 +1673,8 @@ class UopStats:
             "trace_demotions": self.trace_demotions,
             "trace_code_hits": self.trace_code_hits,
             "trace_code_evictions": self.trace_code_evictions,
+            "invalidated_blocks": self.invalidated_blocks,
+            "survived_blocks": self.survived_blocks,
         }
 
 
@@ -1738,7 +1815,7 @@ class UopEngine:
         cpu = self.cpu
         regs = cpu.regs
         prog = cpu.program
-        patches = prog.patches
+        patches = cpu._fetch_view.patches
         cache = self.cache
         blocks = self._blocks
         traces = self._traces
@@ -1748,8 +1825,10 @@ class UopEngine:
         steps = 0
 
         while not cpu.halted:
-            if prog.patch_epoch != cache.epoch:
+            if prog.patch_seq != cache.epoch:
                 cache.sync(prog)
+                stats.invalidated_blocks = cache.invalidated_blocks
+                stats.survived_blocks = cache.survived_blocks
 
             rip = regs.rip
             if cpu._suppress_patch_at is not None or rip in patches:
@@ -1852,7 +1931,7 @@ class UopEngine:
         cpu = self.cpu
         regs = cpu.regs
         prog = cpu.program
-        patches = prog.patches
+        patches = cpu._fetch_view.patches
         cache = self.cache
         blocks = self._blocks
         traces = self._traces
@@ -1870,8 +1949,10 @@ class UopEngine:
             if cpu.blocked:
                 exit_reason = "blocked"
                 break
-            if prog.patch_epoch != cache.epoch:
+            if prog.patch_seq != cache.epoch:
                 cache.sync(prog)
+                stats.invalidated_blocks = cache.invalidated_blocks
+                stats.survived_blocks = cache.survived_blocks
 
             rip = regs.rip
             if cpu._suppress_patch_at is not None or rip in patches:
@@ -1961,7 +2042,7 @@ class UopEngine:
     # ---------------------------------------------------------- chaining
     # Both dispatchers are entered right after ``block``'s *chainable*
     # tail executed, so on entry the CPU is neither halted nor blocked,
-    # ``_suppress_patch_at`` is None, and the patch epoch has not moved
+    # ``_suppress_patch_at`` is None, and ``patch_seq`` has not moved
     # since the engine loop's checkpoint — chainable tails cannot run
     # host code, so they cannot change any of that (ret can halt, which
     # ``chain_check`` re-checks right after the tail).  The chain keeps
@@ -2022,7 +2103,7 @@ class UopEngine:
 
         cpu = self.cpu
         regs = cpu.regs
-        patches = cpu.program.patches
+        patches = cpu._fetch_view.patches
         blocks = self._blocks
         stats = self.stats
         breaks = stats.chain_breaks
@@ -2192,7 +2273,7 @@ class UopEngine:
         suffix block."""
         cpu = self.cpu
         regs = cpu.regs
-        patches = cpu.program.patches
+        patches = cpu._fetch_view.patches
         blocks = self._blocks
         stats = self.stats
         breaks = stats.chain_breaks
@@ -2428,8 +2509,9 @@ class UopEngine:
     def _build(self, entry: int) -> Superblock:
         cpu = self.cpu
         prog = cpu.program
-        by_addr = prog.by_addr
-        patches = prog.patches
+        view = cpu._fetch_view
+        by_addr = view.by_addr
+        patches = view.patches
         body = []
         classes = []
         prefix = [0]
@@ -2437,6 +2519,7 @@ class UopEngine:
         tail_addr = None
         chain_grade = 0
         addr = entry
+        end = entry
         while len(body) < MAX_BLOCK:
             if addr in patches:
                 break
@@ -2450,6 +2533,7 @@ class UopEngine:
                 if tail is not None:
                     tail_addr = addr
                     chain_grade = _tail_chain_grade(uop, prog)
+                    end = addr + uop.size
                 break
             if cls is OpClass.SYS:
                 break
@@ -2460,5 +2544,6 @@ class UopEngine:
             classes.append(cls)
             prefix.append(prefix[-1] + uop.cost)
             addr += uop.size
+            end = addr
         return Superblock(entry, body, classes, prefix, tail, tail_addr,
-                          chain_grade)
+                          chain_grade, end=end)

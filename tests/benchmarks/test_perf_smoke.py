@@ -61,4 +61,18 @@ def test_pipeline_speedup_no_regression(tmp_path):
             compiles = (row.get("trace_stats") or {}).get("trace_compiles", 0)
             if not compiles:
                 failures.append(f"{workload}: traced tier compiled zero traces")
+        if workload == "patch_churn":
+            # the per-site invalidation gate: the traced tier must stay
+            # >= 3x the interpreter *under churn*, with warm blocks
+            # demonstrably surviving each patch event (a wholesale
+            # flush would zero survived_blocks and sink the ratio).
+            if row["trace_speedup"] < 3.0:
+                failures.append(
+                    f"patch_churn: traced speedup {row['trace_speedup']:.2f}x "
+                    f"under churn < 3.0x floor")
+            if not row["uop_stats"].get("survived_blocks"):
+                failures.append(
+                    "patch_churn: zero superblocks survived a churn sync")
+            if not row.get("churn_events"):
+                failures.append("patch_churn: zero churn events (vacuous row)")
     assert not failures, "; ".join(failures)

@@ -165,3 +165,56 @@ def test_warm_template_reuses_caches(batch):
     report = FleetScheduler(workers=0).run(batch)
     later = [r for r in report.results[1:]]
     assert any(r.uop.get("trace_code_hits", 0) > 0 for r in later)
+
+
+def test_template_patch_mid_batch_spares_other_guests():
+    """Satellite: patching one workload template mid-batch must only
+    invalidate the covering artifacts — resident guests' unrelated warm
+    blocks survive (new per-site counters) and later guests of the same
+    template keep their warm trace-code hit rate."""
+    from repro.fleet.worker import WorkloadTemplate
+    from repro.kernel.kernel import LinuxKernel
+    from repro.machine.cpu import CPU
+
+    jobs = make_batch("lorenz", 4, scale=SCALE)
+    template = WorkloadTemplate(jobs[0])
+    run_guest(jobs[0], template)                 # compiles the trace code
+    warm = run_guest(jobs[1], template)
+    assert warm.error is None
+    assert warm.uop["trace_code_hits"] > 0       # warm path established
+
+    # A resident guest holding live views in the shared cache (as a
+    # concurrently-running guest of the same template would).
+    resident = CPU.from_image(template.program, template.image,
+                              uops=True, chain=True, trace=True)
+    resident._sb_cache = template.sb_cache
+    resident.kernel = LinuxKernel()
+    resident.run()
+    cache = template.sb_cache
+    view = cache.views[resident._sb_view_key]
+    live_blocks = len(view)
+    assert live_blocks > 1
+
+    # Patch a site covered by a live block but outside every compiled
+    # trace, so only that block (not the hot traced loop) is stale.
+    trace_ranges = [r for tv in cache.trace_views.values()
+                    for t in tv.values() for r in t.ranges]
+    site = next(b.entry for b in view.values()
+                if b.end > b.entry
+                and not any(lo <= b.entry < hi for lo, hi in trace_ranges))
+    fired = []
+    inv0, surv0 = cache.invalidated_blocks, cache.survived_blocks
+    template.program.patch_call(site, lambda cpu, rip: fired.append(rip))
+
+    post = run_guest(jobs[2], template)
+    assert post.error is None
+    assert fired                                   # the pre-hook is live
+    # per-site: the covering block died, the rest of the resident
+    # guest's warm state survived the patch.
+    assert cache.invalidated_blocks > inv0
+    assert cache.survived_blocks > surv0
+    assert len(view) >= live_blocks - (cache.invalidated_blocks - inv0)
+    assert len(view) > live_blocks // 2
+    # the post-patch guest's warm hit rate is unaffected.
+    assert post.output == warm.output
+    assert post.uop["trace_code_hits"] == warm.uop["trace_code_hits"]
