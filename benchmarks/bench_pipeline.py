@@ -38,6 +38,7 @@ WORKLOADS = [
     ("fbench", None, 6),    # None = the registry's default scale
     ("lorenz", None, 150),
     ("lorenz_mt", 2000, 300),
+    ("mixed_mt", 2000, 300),
 ]
 REPS = 3
 
@@ -250,6 +251,65 @@ def churn_one(scale: int, reps: int = REPS, quantum: int = CHURN_QUANTUM,
     }
 
 
+#: lazy-FP ablation rows: (workload, full_scale, quick_scale).  Run at
+#: a small quantum so scheduler dispatches — where the eager full-bank
+#: spill/reload lives — are frequent relative to guest work; that is
+#: the regime the §3.1 lazy discipline targets.
+ABLATION_WORKLOADS = [
+    ("lorenz_mt", 2000, 300),
+    ("mixed_mt", 2000, 300),
+]
+ABLATION_QUANTUM = 16
+
+
+def ablation_one(workload: str, scale: int | None, reps: int = REPS) -> dict:
+    """One ``FPVM_LAZY_FP`` on/off pair: same workload, same quantum,
+    best-of-``reps`` host seconds each way, with guest-result equality
+    and switch-machinery vacuity checks."""
+    runs = {}
+    for label, lazy in (("lazy", True), ("eager", False)):
+        best = None
+        for _ in range(reps):
+            result = run_native_process(workload, scale, chain=True,
+                                        quantum=ABLATION_QUANTUM,
+                                        lazy_fp=lazy)
+            if best is None or result.host.seconds < best.host.seconds:
+                best = result
+        runs[label] = best
+
+    lazy_r, eager_r = runs["lazy"], runs["eager"]
+    if (lazy_r.output != eager_r.output
+            or lazy_r.instructions != eager_r.instructions):
+        raise AssertionError(
+            f"{workload}: lazy and eager FP switching disagree on guest "
+            f"results — the discipline leaked into guest state")
+    sched = lazy_r.host.sched
+    if not sched["fp_switches"] or not sched["fp_saves_elided"]:
+        raise AssertionError(
+            f"{workload}: lazy run never exercised the switch machinery "
+            f"(sched: {sched}) — the ablation row is vacuous")
+    if not eager_r.host.sched["fp_eager_switches"]:
+        raise AssertionError(
+            f"{workload}: eager run performed zero full-bank switches — "
+            f"FPVM_LAZY_FP=0 is silently ignored")
+    return {
+        "workload": workload,
+        "scale": scale,
+        "quantum": ABLATION_QUANTUM,
+        "lazy_seconds": lazy_r.host.seconds,
+        "eager_seconds": eager_r.host.seconds,
+        #: host wall-clock win from eliding the per-dispatch spill.
+        "lazy_host_speedup": eager_r.host.seconds / lazy_r.host.seconds,
+        "lazy_cycles": lazy_r.cycles,
+        "eager_cycles": eager_r.cycles,
+        #: simulated-cycle win — deterministic, machine-independent.
+        "lazy_cycle_speedup": eager_r.cycles / lazy_r.cycles,
+        "fp_switches": sched["fp_switches"],
+        "fp_saves_elided": sched["fp_saves_elided"],
+        "fp_eager_switches": eager_r.host.sched["fp_eager_switches"],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
@@ -281,6 +341,18 @@ def main(argv: list[str] | None = None) -> int:
           f"churn events, "
           f"{row['uop_stats']['survived_blocks']} blocks survived)")
 
+    ablation = []
+    for workload, full, quick in ABLATION_WORKLOADS:
+        scale = quick if args.quick else full
+        row = ablation_one(workload, scale, args.reps)
+        ablation.append(row)
+        print(f"{workload:>10}: lazy FP {row['lazy_seconds']:.3f}s vs eager "
+              f"{row['eager_seconds']:.3f}s "
+              f"({row['lazy_host_speedup']:.2f}x host, "
+              f"{row['lazy_cycle_speedup']:.2f}x simulated cycles; "
+              f"{row['fp_switches']} switches, "
+              f"{row['fp_saves_elided']} saves elided)")
+
     doc = {
         "benchmark": "uop_pipeline",
         "quick": args.quick,
@@ -297,6 +369,9 @@ def main(argv: list[str] | None = None) -> int:
             r["trace_speedup"] for r in results
             if r["workload"] in TRACE_WORKLOADS
         ),
+        #: FPVM_LAZY_FP on/off pairs (separate from ``results`` so the
+        #: tier-ratio minima above stay defined over 4-tier rows only).
+        "lazy_ablation": ablation,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(doc, indent=2) + "\n")

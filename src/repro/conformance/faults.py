@@ -35,6 +35,7 @@ from repro.kernel.kernel import LinuxKernel
 from repro.kernel.signals import SIGFPE, SignalContext
 from repro.machine.assembler import assemble
 from repro.machine.cpu import CPU
+from repro.machine.hostlib import install_host_library
 from repro.machine.isa import OpClass
 from repro.machine.memory import PROT_READ, PROT_WRITE
 from repro.machine.process import Process
@@ -471,6 +472,130 @@ def stale_trace_patch() -> FaultOutcome:
                 if not identical or not exercised else detail))
 
 
+def _lazyfp_source(secrets=None, vloops: int = 150, spin: int = 400) -> str:
+    """The LazyFP probe program.  A *victim* thread loads a distinct
+    secret into every XMM register and keeps dirtying the bank; a
+    *probe* thread burns integer-only quanta (so the victim owns the FP
+    unit), then stores every XMM register to memory **before writing
+    any** — the classic LazyFP read-before-first-write probe.  Main
+    joins both and prints the probe's 16 captured values, which for a
+    correct ownership switch must all be the fresh-thread init state
+    (0.0), never the victim's secrets."""
+    if secrets is None:
+        secrets = [101.5 + 2.0 * i for i in range(16)]
+    lines = [
+        ".data",
+        f"secrets: .double {', '.join(repr(float(s)) for s in secrets)}",
+        f"probe: .double {', '.join('0.0' for _ in range(16))}",
+        f"vloops: .quad {vloops}",
+        f"spin: .quad {spin}",
+        "",
+        ".text",
+        "victim:",
+    ]
+    for i in range(16):
+        lines.append(f"  movsd xmm{i}, [rip + secrets + {8 * i}]")
+    lines += [
+        "  mov rcx, [rip + vloops]",
+        "vloop:",
+        "  addsd xmm0, xmm1",
+        "  dec rcx",
+        "  jne vloop",
+        "  ret",
+        "",
+        "probe_worker:",
+        "  ; integer-only delay: the victim's quanta run meanwhile and",
+        "  ; it becomes the FP owner with a fully dirty bank.",
+        "  mov rcx, [rip + spin]",
+        "ploop:",
+        "  dec rcx",
+        "  jne ploop",
+        "  ; read every register BEFORE writing any",
+    ]
+    for i in range(16):
+        lines.append(f"  movsd [rip + probe + {8 * i}], xmm{i}")
+    lines += [
+        "  ret",
+        "",
+        "main:",
+        "  mov rdi, victim",
+        "  mov rsi, 0",
+        "  call thread_create",
+        "  mov rdi, probe_worker",
+        "  mov rsi, 0",
+        "  call thread_create",
+        "  mov rdi, 1",
+        "  call thread_join",
+        "  mov rdi, 2",
+        "  call thread_join",
+    ]
+    for i in range(16):
+        lines += [
+            f"  movsd xmm0, [rip + probe + {8 * i}]",
+            "  call print_f64",
+        ]
+    lines.append("  hlt")
+    return "\n".join(lines) + "\n"
+
+
+#: tier label -> (uops, chain, trace) flags for the LazyFP sweep.
+_LAZYFP_TIERS = {
+    "stepwise": (False, False, False),
+    "batched": (True, False, False),
+    "chained": (True, True, False),
+    "traced": (True, True, True),
+}
+
+
+def _lazyfp_run(uops: bool, chain: bool, trace: bool, lazy: bool,
+                armed: bool = False) -> Process:
+    program = assemble(_lazyfp_source())
+    install_host_library(program)
+    proc = Process(program, uops=uops, chain=chain,
+                   trace=trace, lazy_fp=lazy)
+    proc.kernel = LinuxKernel()
+    if armed:
+        proc.fp_skip_switch = True
+    proc.run(max_steps=MAX_STEPS)
+    return proc
+
+
+def lazy_fp_leak() -> FaultOutcome:
+    """The LazyFP leak oracle (§3.1).  Fault being probed: a lazy FP
+    switch implementation that *skips* the ownership switch would leave
+    the previous owner's XMM state readable by the next thread — the
+    LazyFP side channel, a silent secret leak.  Detection is
+    differential: every lazy-on tier's probe output must be
+    bit-identical to the eager reference (all init-state zeros), and
+    the armed ``fp_skip_switch`` seam must make the probe observably
+    capture the victim's secrets — proving the oracle has the power to
+    catch a switch that quietly stopped happening."""
+    name = "lazy_fp_leak"
+    desc = "skipped FP ownership switch leaks stale XMM to a fresh thread"
+
+    ref = _lazyfp_run(False, False, False, lazy=False)
+    expect = tuple(ref.main.output)
+    for tier, (uops, chain, trace) in _LAZYFP_TIERS.items():
+        proc = _lazyfp_run(uops, chain, trace, lazy=True)
+        if tuple(proc.main.output) != expect:
+            return FaultOutcome(
+                name, desc, detected=False, recovered=False,
+                detail=f"lazy/{tier} diverged from eager on a clean run")
+        if proc.sched.fp_switches == 0 or proc.sched.fp_saves_elided == 0:
+            return FaultOutcome(
+                name, desc, detected=False, recovered=False,
+                detail=f"lazy/{tier} never exercised the switch machinery")
+    armed = _lazyfp_run(True, False, False, lazy=True, armed=True)
+    if tuple(armed.main.output) != expect:
+        return FaultOutcome(
+            name, desc, detected=True, recovered=True,
+            detail="all 4 lazy tiers clean vs eager; armed seam "
+                   "observably leaked the victim bank")
+    return FaultOutcome(
+        name, desc, detected=False, recovered=False,
+        detail="armed skip-switch seam produced no observable leak")
+
+
 #: the registry, in documentation order.
 SCENARIOS = {
     fn.__name__: fn
@@ -488,6 +613,7 @@ SCENARIOS = {
         scheduler_deadlock,
         scheduler_step_limit,
         stale_trace_patch,
+        lazy_fp_leak,
     )
 }
 

@@ -124,12 +124,20 @@ def _lorenz_mt_program():
     return build_program("lorenz_mt", scale=40, threads=3)
 
 
+def _mixed_mt_program():
+    return build_program("mixed_mt", scale=30, threads=4, fp_threads=2)
+
+
 #: label -> zero-arg Program factory.  ``staggered`` exercises the
 #: join-order/park-resume machinery; ``lorenz_mt`` is the evaluation
-#: workload (long straight-line FP bodies, the superblock best case).
+#: workload (long straight-line FP bodies, the superblock best case);
+#: ``mixed_mt`` alternates integer-only and FP quanta, so the lazy-FP
+#: ownership switching (§3.1) must stay bit-identical across tiers and
+#: quanta too.
 PROGRAMS = {
     "staggered": _staggered_program,
     "lorenz_mt": _lorenz_mt_program,
+    "mixed_mt": _mixed_mt_program,
 }
 
 #: label -> FPVMConfig factory taking the uop-pipeline switch, or None

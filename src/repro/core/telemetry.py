@@ -70,7 +70,9 @@ class SchedulerStats:
     globally and per thread.
     """
 
-    __slots__ = ("quantum", "dispatches", "steps", "per_thread")
+    __slots__ = ("quantum", "dispatches", "steps", "per_thread",
+                 "fp_switches", "fp_saves_elided", "fp_lanes_saved",
+                 "fp_lanes_restored", "fp_eager_switches")
 
     def __init__(self) -> None:
         #: quantum size of the most recent run() driving this record.
@@ -79,6 +81,15 @@ class SchedulerStats:
         self.steps = 0
         #: tid -> [dispatches, steps]
         self.per_thread: dict[int, list[int]] = {}
+        #: lazy-FP discipline (§3.1): modeled #NM ownership switches,
+        #: dispatches whose eager-mode XMM spill was elided, and the
+        #: dirty / live lane traffic the switches actually moved.
+        self.fp_switches = 0
+        self.fp_saves_elided = 0
+        self.fp_lanes_saved = 0
+        self.fp_lanes_restored = 0
+        #: full-bank spills performed when lazy FP is disabled.
+        self.fp_eager_switches = 0
 
     def record(self, tid: int, retired: int) -> None:
         self.dispatches += 1
@@ -101,6 +112,11 @@ class SchedulerStats:
             "dispatches": self.dispatches,
             "steps": self.steps,
             "quantum_efficiency": self.quantum_efficiency,
+            "fp_switches": self.fp_switches,
+            "fp_saves_elided": self.fp_saves_elided,
+            "fp_lanes_saved": self.fp_lanes_saved,
+            "fp_lanes_restored": self.fp_lanes_restored,
+            "fp_eager_switches": self.fp_eager_switches,
             "per_thread": {
                 tid: {"dispatches": d, "steps": s}
                 for tid, (d, s) in sorted(self.per_thread.items())
@@ -224,6 +240,7 @@ def aggregate_fleet_stats(
     for r in rows:
         w = per_worker.setdefault(r["worker"], {
             "guests": 0, "cycles": 0, "instructions": 0, "cow_faults": 0,
+            "fp_switches": 0, "fp_saves_elided": 0,
             "block_runs": 0, "blocks_built": 0,
             "trace_compiles": 0, "trace_code_hits": 0, "trace_runs": 0,
         })
@@ -231,6 +248,8 @@ def aggregate_fleet_stats(
         w["cycles"] += r["cycles"]
         w["instructions"] += r["instructions"]
         w["cow_faults"] += r.get("cow_faults", 0)
+        w["fp_switches"] += r.get("fp_switches", 0)
+        w["fp_saves_elided"] += r.get("fp_saves_elided", 0)
         uop = r.get("uop") or {}
         for key in ("block_runs", "blocks_built", "trace_compiles",
                     "trace_code_hits", "trace_runs"):
@@ -254,6 +273,8 @@ def aggregate_fleet_stats(
         "fp_traps": sum(r.get("fp_traps", 0) for r in rows),
         "bp_traps": sum(r.get("bp_traps", 0) for r in rows),
         "cow_faults": sum(r.get("cow_faults", 0) for r in rows),
+        "fp_switches": sum(r.get("fp_switches", 0) for r in rows),
+        "fp_saves_elided": sum(r.get("fp_saves_elided", 0) for r in rows),
         "retries": retries,
         "crashes": crashes,
         "rejected": rejected,

@@ -118,6 +118,12 @@ class FPVM:
         self.patched_sites: dict[int, int] = {}
         self.process = None
         self.attached = False
+        #: test seam: lane mask the handler body "trashes" host-side
+        #: (models the handler's own FP code clobbering the bank).  The
+        #: entry save must protect every guest lane against exactly
+        #: this — eager mode by saving all 32 lanes, lazy mode by
+        #: declaring the emulated instruction's operand lanes.
+        self.fp_scribble_mask = 0
         self.uops_enabled = (
             self.config.uops if self.config.uops is not None
             else uops_enabled_default()
@@ -272,10 +278,54 @@ class FPVM:
             self.telemetry.spurious_traps += 1
             return False
         self.telemetry.traps += 1
+        saved = self._fp_entry_save(context, trap)
         resume = self.sequencer.handle_fp_trap(context, trap)
+        self._fp_exit_restore(context, saved)
         context.rip = resume
         self._maybe_gc(context)
         return True
+
+    # ------------------------------------ clobber-masked state save (§3.1)
+    def _fp_entry_save(self, context, trap) -> dict[int, int]:
+        """Entry-stub XMM save.  Eager mode snapshots all 32 lanes; lazy
+        mode saves only the trapped instruction's declared clobber set
+        (its XMM operand lanes) — the registers the handler's host-side
+        emulation code actually touches.  Returns lane-index -> value."""
+        if self.config.lazy_state_save:
+            instr = context.cpu.program.by_addr.get(trap.addr)
+            mask = instr.xmm_operands() if instr is not None else 0xFFFF_FFFF
+        else:
+            mask = 0xFFFF_FFFF
+        saved: dict[int, int] = {}
+        m = mask
+        while m:
+            bit = m & -m
+            idx = bit.bit_length() - 1
+            saved[idx] = context.read_xmm(idx >> 1, idx & 1)
+            m ^= bit
+        self.ledger.count("fp_handler_lanes_saved", len(saved))
+        if self.fp_scribble_mask:
+            # Armed seam: the handler body trashes these lanes.
+            m = self.fp_scribble_mask
+            while m:
+                bit = m & -m
+                idx = bit.bit_length() - 1
+                context.raw_write_xmm(idx >> 1, 0xDEAD_BEEF_DEAD_BEEF, idx & 1)
+                m ^= bit
+        return saved
+
+    def _fp_exit_restore(self, context, saved: dict[int, int]) -> None:
+        """Exit-stub restore: put back every saved lane the handler did
+        not write as a result.  In a clean run this is value-identical
+        to doing nothing; with the scribble seam armed it is what keeps
+        handler host code from leaking into guest state."""
+        written = context.written_xmm
+        restored = 0
+        for idx, value in saved.items():
+            if not (written >> idx) & 1:
+                context.raw_write_xmm(idx >> 1, value, idx & 1)
+                restored += 1
+        self.ledger.count("fp_handler_lanes_restored", restored)
 
     def _on_sigtrap(self, signum, context, trap) -> None:
         """Baseline int3 correctness trap: demote then single-step."""

@@ -28,6 +28,52 @@ from repro.machine.program import HostFunction, Program
 RAX = 0
 
 
+def _wrapper_clobber_mask(host: HostFunction) -> int:
+    """Lane mask a generated wrapper may touch: one low lane per double
+    argument register (xmm0..xmmN-1) plus both xmm0 lanes when the call
+    produces an FP return.  This is the wrapper's *declared* clobber
+    set — under lazy state save the guard saves exactly these lanes
+    instead of the whole bank."""
+    mask = 0
+    for i in range(host.fp_args):
+        mask |= 0b01 << (2 * i)
+    if host.fp_ret:
+        mask |= 0b11
+    return mask
+
+
+def _guard_save(vm, cpu, clobber: int) -> dict[int, int]:
+    """Entry half of the wrapper's state guard: snapshot the lanes the
+    wrapper is allowed to touch (all 32 when lazy save is off)."""
+    mask = clobber if vm.config.lazy_state_save else 0xFFFF_FFFF
+    saved: dict[int, int] = {}
+    regs_xmm = cpu.regs.xmm
+    m = mask
+    while m:
+        bit = m & -m
+        idx = bit.bit_length() - 1
+        saved[idx] = regs_xmm[idx >> 1][idx & 1]
+        m ^= bit
+    vm.ledger.count("fp_wrapper_lanes_saved", len(saved))
+    return saved
+
+
+def _guard_restore(vm, cpu, saved: dict[int, int], written: int) -> None:
+    """Exit half: put back every saved lane the wrapper did not
+    legitimately write (value-identical in a clean run), and push the
+    written lanes into the lazy-FP dirty tracking — wrapper writes
+    bypass the CPU's FP exec paths, so this is their funnel."""
+    restored = 0
+    for idx, value in saved.items():
+        if not (written >> idx) & 1:
+            cpu.regs.write_xmm_lane(idx >> 1, idx & 1, value)
+            restored += 1
+    vm.ledger.count("fp_wrapper_lanes_restored", restored)
+    if written:
+        cpu.fp_quantum_touched = True
+        cpu.regs.fp_dirty |= written
+
+
 @dataclass
 class WrapReport:
     """What got wrapped and how (diagnostics + tests)."""
@@ -73,18 +119,28 @@ def _make_demoting_wrapper(vm, host: HostFunction):
     """Stub that demotes double argument registers, then tail-calls the
     real function (printf and friends)."""
 
+    clobber = _wrapper_clobber_mask(host)
+
     def wrapper(cpu) -> None:
         vm.charge("fcall", vm.costs.fcall_wrapper)
         vm.telemetry.fcall_events += 1
         vm.ledger.count("fcall_traps")
+        saved = _guard_save(vm, cpu, clobber)
+        written = 0
         for i in range(host.fp_args):
             bits = cpu.regs.xmm[i][0]
             plain = vm.emulator.demote_bits(bits)
             if plain != bits:
                 cpu.regs.write_xmm_lane(i, 0, plain)
+                written |= 0b01 << (2 * i)
         cpu.cycles += host.cost
         cpu.work_cycles += host.cost
         host.fn(cpu)
+        if host.fp_ret:
+            # The real function's FP return lands in xmm0 — a result,
+            # not a clobber to undo.
+            written |= 0b11
+        _guard_restore(vm, cpu, saved, written)
         # Postprocessing never needs to promote: FP return registers
         # are caller-save plain doubles (§5.3 footnote 6).
 
@@ -95,10 +151,13 @@ def _make_libm_forward_wrapper(vm, host: HostFunction):
     """Hand-written libm wrapper: compute in the alternative arithmetic
     system and box the result (§5.3)."""
 
+    clobber = _wrapper_clobber_mask(host) | 0b11  # result always in xmm0
+
     def wrapper(cpu) -> None:
         vm.charge("fcall", vm.costs.fcall_wrapper)
         vm.telemetry.fcall_events += 1
         vm.ledger.count("libm_calls")
+        saved = _guard_save(vm, cpu, clobber)
         args = []
         for i in range(host.fp_args):
             bits = cpu.regs.xmm[i][0]
@@ -113,5 +172,6 @@ def _make_libm_forward_wrapper(vm, host: HostFunction):
             vm.telemetry.boxes_allocated += 1
             out = nanbox.box_bits(ptr)
         cpu.regs.write_xmm128(0, out, 0)
+        _guard_restore(vm, cpu, saved, 0b11)
 
     return wrapper

@@ -69,6 +69,11 @@ class GuestResult:
     #: pages privately materialized by this guest's writes (0 when the
     #: guest ran cold, without a template).
     cow_faults: int = 0
+    #: lazy-FP scheduler telemetry (§3.1): modeled #NM ownership
+    #: switches and dispatches whose XMM spill was elided (0 for
+    #: single-CPU guests — no scheduler, no switches).
+    fp_switches: int = 0
+    fp_saves_elided: int = 0
     #: merged UopStats.as_dict() subset across the guest's thread CPUs.
     uop: dict = field(default_factory=dict)
     #: set when the guest itself raised (deterministic guest failure —
@@ -92,6 +97,8 @@ class GuestResult:
             "fp_traps": self.fp_traps,
             "bp_traps": self.bp_traps,
             "cow_faults": self.cow_faults,
+            "fp_switches": self.fp_switches,
+            "fp_saves_elided": self.fp_saves_elided,
             "worker": self.worker,
             "uop": self.uop,
         }

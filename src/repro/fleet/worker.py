@@ -126,6 +126,8 @@ def run_guest(job: GuestJob, template: WorkloadTemplate | None = None) -> GuestR
                  t.fp_trap_count, t.bp_trap_count)
                 for t in cpus
             )
+            result.fp_switches = proc.sched.fp_switches
+            result.fp_saves_elided = proc.sched.fp_saves_elided
             mem = proc.mem
         else:
             if image is not None:

@@ -178,6 +178,8 @@ def render_fleet(fleet: dict, title: str) -> str:
     lines.append(f"  fp/bp traps:          {fleet['fp_traps']:>10} /"
                  f" {fleet['bp_traps']}")
     lines.append(f"  COW page faults:      {fleet['cow_faults']:>10}")
+    lines.append(f"  FP switches/elided:   {fleet.get('fp_switches', 0):>10} /"
+                 f" {fleet.get('fp_saves_elided', 0)}")
     lines.append(f"  crashes/retries:      {fleet['crashes']:>10} /"
                  f" {fleet['retries']}")
     lines.append(f"  rejected/failed:      {fleet['rejected']:>10} /"
@@ -186,14 +188,16 @@ def render_fleet(fleet: dict, title: str) -> str:
     if per_worker:
         lines.append("")
         header = (f"  {'worker':<8}{'guests':>8}{'instr':>12}{'cow':>8}"
-                  f"{'sb hit':>9}{'trace hit':>11}")
+                  f"{'fpsw':>7}{'elided':>8}{'sb hit':>9}{'trace hit':>11}")
         lines.append(header)
         lines.append("  " + "-" * (len(header) - 2))
         for wid, w in per_worker.items():
             label = "inline" if wid == -1 else str(wid)
             lines.append(
                 f"  {label:<8}{w['guests']:>8}{w['instructions']:>12}"
-                f"{w['cow_faults']:>8}{w['superblock_hit_rate'] * 100:>8.1f}%"
+                f"{w['cow_faults']:>8}{w.get('fp_switches', 0):>7}"
+                f"{w.get('fp_saves_elided', 0):>8}"
+                f"{w['superblock_hit_rate'] * 100:>8.1f}%"
                 f"{w['trace_cache_hit_rate'] * 100:>10.1f}%"
             )
     return "\n".join(lines)

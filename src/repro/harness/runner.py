@@ -220,6 +220,7 @@ def run_native_process(
     chain: bool | None = None,
     trace: bool | None = None,
     quantum: int = 64,
+    lazy_fp: bool | None = None,
     **kw,
 ) -> NativeResult:
     """Run a (typically multi-threaded) workload under the Process
@@ -228,7 +229,7 @@ def run_native_process(
     from repro.machine.process import Process
 
     proc = Process(build_program(workload, scale, **kw), uops=uops,
-                   chain=chain, trace=trace)
+                   chain=chain, trace=trace, lazy_fp=lazy_fp)
     proc.kernel = LinuxKernel()
     t0 = time.perf_counter()
     proc.run(quantum=quantum)
@@ -246,6 +247,7 @@ def run_fpvm_process(
     chain: bool | None = None,
     trace: bool | None = None,
     quantum: int = 64,
+    lazy_fp: bool | None = None,
     **kw,
 ) -> FPVMResult:
     """FPVM-attached Process run: every spawned thread is intercepted
@@ -253,7 +255,7 @@ def run_fpvm_process(
     from repro.machine.process import Process
 
     program = build_program(workload, scale, **kw)
-    proc = Process(program, chain=chain, trace=trace)
+    proc = Process(program, chain=chain, trace=trace, lazy_fp=lazy_fp)
     kernel = LinuxKernel()
     vm = FPVM(config).attach_process(proc, kernel)
     t0 = time.perf_counter()

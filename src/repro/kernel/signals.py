@@ -32,6 +32,10 @@ class SignalContext:
         #: executed once without re-triggering its pre-hook (the
         #: "single-step over it after demoting" path of §2.6).
         self.suppress_patch_at: int | None = None
+        #: lane mask of XMM writes made through this context — the
+        #: handler's *results*, which the clobber-masked exit restore
+        #: must not undo.
+        self.written_xmm = 0
         if live:
             self._snap = None
         else:
@@ -64,6 +68,25 @@ class SignalContext:
         )
 
     def write_xmm(self, xid: int, value: int, lane: int = 0) -> None:
+        # Lazy-FP dirty marking: handler-emulated results (sequence
+        # followers, altmath commits) never pass through the CPU's FP
+        # exec paths, so the context write is their one funnel.  Frame
+        # mode marks the snapshot — apply() pushes it into the live
+        # register file with the rest of the mutations.
+        self.cpu.fp_quantum_touched = True
+        self.written_xmm |= 1 << (2 * xid + lane)
+        if self.live:
+            self.cpu.regs.write_xmm_lane(xid, lane, value)
+            self.cpu.regs.fp_dirty |= 1 << (2 * xid + lane)
+        else:
+            self._snap["xmm"][xid][lane] = value & 0xFFFF_FFFF_FFFF_FFFF
+            self._snap["fp_dirty"] |= 1 << (2 * xid + lane)
+
+    def raw_write_xmm(self, xid: int, value: int, lane: int = 0) -> None:
+        """Write a lane *without* dirty/result tracking.  Two users: the
+        handler exit stub restoring saved lanes (values the guest
+        already owned — not new dirt, not a result), and the test seam
+        that models the handler's host-side code trashing the bank."""
         if self.live:
             self.cpu.regs.write_xmm_lane(xid, lane, value)
         else:

@@ -57,6 +57,20 @@ class CostModel:
     #: "can currently occupy a whole page").
     handler_entry_lazy: int = 25
 
+    # --- lazy FP state management across quanta (§3.1) --------------------
+    #: eager discipline: full XMM bank spill + reload at every context
+    #: switch between distinct threads (the xsave-everything baseline).
+    fp_full_switch: int = 420
+    #: lazy discipline: modeled #NM-style trap raised at the first FP
+    #: touch by a non-owner thread (dispatch + ownership bookkeeping).
+    fp_nm_switch: int = 180
+    #: per 64-bit XMM lane actually spilled from the outgoing owner
+    #: (only lanes dirtied since it acquired ownership).
+    fp_lane_save: int = 6
+    #: per 64-bit XMM lane reloaded for the incoming owner (only lanes
+    #: it has ever had saved).
+    fp_lane_restore: int = 6
+
     # --- garbage collection (§2.5) ----------------------------------------
     gc_per_page: int = 60           # conservative scan of one writable page
     gc_per_object: int = 12         # mark/sweep bookkeeping per object

@@ -128,6 +128,16 @@ class CPU:
         #: model of "disabling the floating point hardware altogether"
         #: (§2.3): every FP-arith instruction faults unconditionally.
         self.fp_disabled = False
+        #: lazy-FP (§3.1): set when any FP-class instruction retires in
+        #: the current scheduler quantum.  The interpreter sets it per
+        #: step in the FP handlers; the uop engine batch-sets it per
+        #: superblock dispatch from the block's lowering-time summary.
+        #: Consumed (and cleared) by Process.run at each quantum edge.
+        self.fp_quantum_touched = False
+        #: the thread's FP save area (host-side spill target): a dict
+        #: of lane index -> value under the lazy discipline, a full
+        #: bank copy under the eager one.  None until first spilled.
+        self._fp_save = None
         #: one-shot patch suppression so a handler can single-step the
         #: patched instruction after demoting (paper §2.6).  Consumed by
         #: the next fetch dispatch regardless of RIP — a lingering flag
@@ -422,6 +432,11 @@ class CPU:
     def _exec_fp(self, instr: Instruction):
         """Returns False if the instruction faulted (did not retire)."""
         regs = self.regs
+        # Lazy-FP: coarse per-step marking, FP opclasses only.  Marked
+        # before the trap branches — a trapped instruction is emulated
+        # into the same destination lanes by the handler this step.
+        self.fp_quantum_touched = True
+        regs.fp_dirty |= instr.xmm_writes()
         if self.fp_disabled:
             # FP hardware off: fault before any evaluation (#NM-style).
             self.fp_trap_count += 1
@@ -537,6 +552,8 @@ class CPU:
 
     # --------------------------------------------------------- FP bitwise
     def _exec_fp_bitwise(self, instr: Instruction):
+        self.fp_quantum_touched = True
+        self.regs.fp_dirty |= instr.xmm_writes()
         mn = instr.mnemonic
         ops = instr.operands
         dlo, dhi = self.regs.read_xmm128(ops[0].id)
@@ -555,6 +572,8 @@ class CPU:
 
     # ------------------------------------------------------------ FP moves
     def _exec_fp_mov(self, instr: Instruction):
+        self.fp_quantum_touched = True
+        self.regs.fp_dirty |= instr.xmm_writes()
         mn = instr.mnemonic
         regs = self.regs
         if mn == "shufpd":

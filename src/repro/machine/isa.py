@@ -264,6 +264,58 @@ CONDITION_CODES = {
 }
 
 
+#: OpClasses that touch FP state at all (reads included) — the lazy-FP
+#: #NM trigger set: any retirement in one of these classes by a
+#: non-owner thread forces an ownership switch.
+FP_TOUCH_CLASSES = frozenset(
+    (OpClass.FP_ARITH, OpClass.FP_BITWISE, OpClass.FP_MOV, OpClass.FP_CVT)
+)
+
+
+def xmm_write_mask(instr: "Instruction") -> int:
+    """The XMM *lane* mask this instruction architecturally writes
+    (bit ``2*xid + lane``), mirroring the interpreter's commit paths
+    exactly.  Static per instruction — the micro-op lowering bakes it
+    into per-superblock summaries and the interpreter caches it on the
+    instruction, so both tiers charge identical dirty sets."""
+    info = OPCODES[instr.mnemonic]
+    cls = info.opclass
+    ops = instr.operands
+    if cls in (OpClass.FP_ARITH, OpClass.FP_CVT):
+        mn = instr.mnemonic
+        if mn in ("ucomisd", "comisd"):       # flags only
+            return 0
+        if mn in ("cvttsd2si", "cvtsd2si"):   # GPR destination
+            return 0
+        xid = ops[0].id
+        if info.lanes == 2:
+            return 0b11 << (2 * xid)
+        return 0b01 << (2 * xid)              # scalar: low lane only
+    if cls is OpClass.FP_BITWISE:
+        return 0b11 << (2 * ops[0].id)
+    if cls is OpClass.FP_MOV:
+        mn = instr.mnemonic
+        dst = ops[0]
+        if not isinstance(dst, Xmm):          # store to memory / GPR
+            return 0
+        base = 2 * dst.id
+        if mn == "movsd":
+            # reg-reg merges into the low lane; a load zeroes the high.
+            if isinstance(ops[1], Xmm):
+                return 0b01 << base
+            return 0b11 << base
+        if mn == "movhpd":
+            return 0b10 << base
+        if mn in ("movlpd", "unpcklpd"):
+            # unpcklpd writes dst.hi = src.lo, dst.lo keeps dst.lo.
+            if mn == "unpcklpd":
+                return 0b10 << base
+            return 0b01 << base
+        # shufpd/movapd/movupd/movq/movddup/unpckhpd write both lanes.
+        return 0b11 << base
+    return 0
+
+
 @dataclass
 class Instruction:
     """One decoded instruction.
@@ -294,6 +346,28 @@ class Instruction:
     def is_fp_trap_capable(self) -> bool:
         """Could this instruction raise #XF?"""
         return self.opclass in (OpClass.FP_ARITH, OpClass.FP_CVT)
+
+    def xmm_writes(self) -> int:
+        """Cached :func:`xmm_write_mask` — the interpreter's per-step
+        dirty marking reads this once per instruction object."""
+        mask = getattr(self, "_xmm_wmask", None)
+        if mask is None:
+            mask = self._xmm_wmask = xmm_write_mask(self)
+        return mask
+
+    def xmm_operands(self) -> int:
+        """Cached lane mask over every XMM *operand* (reads and writes,
+        both lanes) — the handler's declared clobber set under lazy
+        state save: emulating this instruction touches exactly these
+        registers host-side."""
+        mask = getattr(self, "_xmm_omask", None)
+        if mask is None:
+            mask = 0
+            for op in self.operands:
+                if isinstance(op, Xmm):
+                    mask |= 0b11 << (2 * op.id)
+            self._xmm_omask = mask
+        return mask
 
     def memory_operand(self) -> Mem | None:
         for op in self.operands:

@@ -16,6 +16,7 @@ unmasking, device registration).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.errors import DeadlockError, StepLimitError
@@ -25,6 +26,19 @@ from repro.machine.program import HostFunction, Program, STACK_TOP
 
 #: each thread gets a 64 KiB stack carved below the previous one.
 THREAD_STACK_STRIDE = 0x1_0000
+
+_FALSEY = ("0", "false", "off", "no")
+
+
+def lazy_fp_enabled_default() -> bool:
+    """The FPVM_LAZY_FP escape hatch (default on): schedule FP state
+    with the hardware lazy-FPU discipline — a per-process FP owner,
+    zero save/restore for quanta that touch no FP, and a modeled
+    #NM-style switch (dirty lanes only) at the first FP touch by a
+    non-owner thread.  Off = eager full-bank spill at every context
+    switch (the xsave-everything baseline the paper's §3.1 wants to
+    avoid)."""
+    return os.environ.get("FPVM_LAZY_FP", "1").strip().lower() not in _FALSEY
 
 RDI = GPR_IDS["rdi"]
 RSI = GPR_IDS["rsi"]
@@ -44,6 +58,7 @@ class Process:
         trace: bool | None = None,
         image=None,
         sb_cache=None,
+        lazy_fp: bool | None = None,
     ):
         from repro.machine.costs import DEFAULT_COSTS
         from repro.core.telemetry import SchedulerStats
@@ -85,6 +100,19 @@ class Process:
         self.join_log: list[tuple[int, int]] = []
         #: batched-quantum telemetry, accumulated across run() calls.
         self.sched = SchedulerStats()
+        #: lazy-FP discipline (§3.1, FPVM_LAZY_FP): per-process FP
+        #: ownership; None = no thread has touched FP state yet.
+        self.lazy_fp = lazy_fp_enabled_default() if lazy_fp is None else lazy_fp
+        self.fp_owner: CPU | None = None
+        #: fault-injection seam for the LazyFP leak oracle: when armed,
+        #: a non-owner thread's quantum starts with the previous
+        #: owner's XMM bank visible — the stale physical registers a
+        #: *skipped* ownership switch would leak — and the switch
+        #: bookkeeping itself is skipped.
+        self.fp_skip_switch = False
+        #: last thread a quantum was dispatched to (eager-spill and
+        #: save-elision accounting both key on actual context switches).
+        self._fp_prev_dispatch: CPU | None = None
         self._install_thread_api()
 
     @property
@@ -171,6 +199,7 @@ class Process:
         limit = max_steps if max_steps is not None else self.max_instructions
         sched = self.sched
         sched.quantum = quantum
+        lazy = self.lazy_fp
         steps = 0
         while True:
             runnable = self.alive()
@@ -179,11 +208,99 @@ class Process:
                     return
                 raise DeadlockError("deadlock: all live threads blocked in join")
             for thread in runnable:
+                switched_in = thread is not self._fp_prev_dispatch
+                if lazy:
+                    if (self.fp_skip_switch and self.fp_owner is not None
+                            and thread is not self.fp_owner):
+                        # Armed leak seam: the skipped switch leaves the
+                        # previous owner's state in the physical bank.
+                        thread.regs.xmm = [
+                            lanes[:] for lanes in self.fp_owner.regs.xmm]
+                elif switched_in:
+                    self._fp_eager_switch(thread)
+                self._fp_prev_dispatch = thread
                 retired = thread.run_quantum(min(quantum, limit - steps))
                 sched.record(thread.tid, retired)
+                if lazy:
+                    touched = thread.fp_quantum_touched
+                    thread.fp_quantum_touched = False
+                    if touched and thread is not self.fp_owner:
+                        if self.fp_skip_switch:
+                            # Armed seam: ownership bookkeeping happens
+                            # but the state swap silently doesn't — the
+                            # LazyFP bug class the leak oracle must catch.
+                            self.fp_owner = thread
+                        else:
+                            self._fp_nm_switch(thread)
+                    elif switched_in:
+                        sched.fp_saves_elided += 1
                 steps += retired
                 if steps >= limit:
                     raise StepLimitError(f"process exceeded {limit} steps")
+
+    # ------------------------------------------------------ lazy FP (§3.1)
+    def _fp_nm_switch(self, thread: CPU) -> None:
+        """Modeled #NM-style ownership switch: the incoming thread's
+        first FP touch this quantum found the unit owned by another
+        thread.  Spill only the outgoing owner's *dirty* lanes, reload
+        only the lanes ever spilled for the incoming one, and charge
+        the per-lane costs — the whole point of the lazy discipline.
+
+        Thread register banks are private in this simulation, so the
+        spill/reload below is the modeled *host-side* work (the part
+        eager mode pays on every context switch); the live bank stays
+        authoritative throughout — which also keeps GC pointer updates
+        into parked threads' registers intact."""
+        costs = self.costs
+        sched = self.sched
+        prev = self.fp_owner
+        lanes_saved = 0
+        if prev is not None:
+            dirty = prev.regs.fp_dirty
+            lanes_saved = dirty.bit_count()
+            if lanes_saved:
+                save = prev._fp_save
+                if save is None:
+                    save = prev._fp_save = {}
+                regs_xmm = prev.regs.xmm
+                m = dirty
+                while m:
+                    bit = m & -m
+                    idx = bit.bit_length() - 1
+                    save[idx] = regs_xmm[idx >> 1][idx & 1]
+                    m ^= bit
+                prev.regs.fp_live |= dirty
+                prev.regs.fp_dirty = 0
+        live = thread.regs.fp_live
+        lanes_restored = live.bit_count()
+        if lanes_restored and thread._fp_save:
+            # reload traffic for previously spilled lanes (the values
+            # already match the live bank — private banks never drift).
+            _ = list(thread._fp_save.values())
+        cost = (costs.fp_nm_switch
+                + lanes_saved * costs.fp_lane_save
+                + lanes_restored * costs.fp_lane_restore)
+        thread.cycles += cost
+        thread.work_cycles += cost
+        sched.fp_switches += 1
+        sched.fp_lanes_saved += lanes_saved
+        sched.fp_lanes_restored += lanes_restored
+        self.fp_owner = thread
+
+    def _fp_eager_switch(self, thread: CPU) -> None:
+        """Eager baseline (FPVM_LAZY_FP=0): every context switch spills
+        the outgoing thread's whole XMM bank and reloads the incoming
+        one's, FP user or not — the host-side copy work lazy mode
+        elides."""
+        prev = self._fp_prev_dispatch
+        if prev is not None:
+            prev._fp_save = [lanes[:] for lanes in prev.regs.xmm]
+        save = thread._fp_save
+        _ = [row[:] for row in (save if save is not None else thread.regs.xmm)]
+        cost = self.costs.fp_full_switch
+        thread.cycles += cost
+        thread.work_cycles += cost
+        self.sched.fp_eager_switches += 1
 
     @property
     def total_cycles(self) -> int:
@@ -283,9 +400,15 @@ def fork_process(parent: Process) -> Process:
         uops=parent.main.uops_enabled,
         chain=parent.main.chain_enabled,
         trace=parent.main.trace_enabled,
+        lazy_fp=parent.lazy_fp,
     )
     child.mem.clone_pages(parent.mem)
     # Post-fork threads must not collide with stacks carved pre-fork.
     child._next_stack = parent._next_stack
     child.main.regs.restore(parent.main.regs.snapshot())
+    # FP ownership travels with the forking thread: if the caller owned
+    # the unit, its clone owns it in the child (dirty/live lane metadata
+    # already came across inside the register snapshot).
+    if parent.fp_owner is parent.main:
+        child.fp_owner = child.main
     return child

@@ -108,6 +108,15 @@ class RegisterFile:
     rip: int = 0
     flags: Flags = field(default_factory=Flags)
     mxcsr: int = MXCSR_DEFAULT
+    #: lazy-FP metadata: 32-bit masks over the 16 XMM registers' 64-bit
+    #: lanes (bit ``2*xid + lane``).  ``fp_dirty`` marks lanes written
+    #: since this thread last acquired FP ownership; ``fp_live`` is the
+    #: monotone union of lanes ever spilled for it (what an ownership
+    #: switch must reload).  Scheduler-maintained — the fast execute
+    #: paths batch-OR per-superblock summaries instead of updating this
+    #: per write.
+    fp_dirty: int = 0
+    fp_live: int = 0
 
     def read_gpr(self, rid: int) -> int:
         return self.gpr[rid]
@@ -138,6 +147,8 @@ class RegisterFile:
             "rip": self.rip,
             "flags": self.flags.copy(),
             "mxcsr": self.mxcsr,
+            "fp_dirty": self.fp_dirty,
+            "fp_live": self.fp_live,
         }
 
     def restore(self, snap: dict) -> None:
@@ -146,3 +157,7 @@ class RegisterFile:
         self.rip = snap["rip"]
         self.flags = snap["flags"].copy()
         self.mxcsr = snap["mxcsr"]
+        # Hand-built ucontext dicts (signal-frame tests) may predate the
+        # lazy-FP metadata; missing keys restore to the pristine masks.
+        self.fp_dirty = snap.get("fp_dirty", 0)
+        self.fp_live = snap.get("fp_live", 0)

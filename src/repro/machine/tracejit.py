@@ -53,7 +53,16 @@ import os
 import struct
 from collections import OrderedDict
 
-from repro.machine.isa import GPR_IDS, Imm, Label, Mem, OpClass, Reg, Xmm
+from repro.machine.isa import (
+    FP_TOUCH_CLASSES,
+    GPR_IDS,
+    Imm,
+    Label,
+    Mem,
+    OpClass,
+    Reg,
+    Xmm,
+)
 from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE, PROT_READ, PROT_WRITE
 from repro.machine.uops import (
     _FALSEY,
@@ -142,7 +151,8 @@ class ChainTrace:
 
     __slots__ = ("entry", "block_entries", "ranges", "n_steps", "iter_cost",
                  "iter_instrs", "iter_classes", "flat", "fn", "cpu",
-                 "source", "runs", "bad_exits", "_x")
+                 "source", "runs", "bad_exits", "_x",
+                 "prefix_fp", "prefix_touch", "iter_fp_mask", "iter_fp_touch")
 
     def __init__(self, cpu, entry, block_entries, flat, fn, source, xcell,
                  ranges=()):
@@ -168,6 +178,28 @@ class ChainTrace:
         self.iter_cost = cost
         self.iter_instrs = instrs
         self.iter_classes = classes
+        # Lazy-FP per-step summaries, mirroring Superblock.prefix_fp:
+        # ``prefix_fp[pos]``/``prefix_touch[pos]`` cover the first
+        # ``pos`` steps of a lap, so settle() charges the dirty set of
+        # any partial lap with one index.  Tail steps (cls None) are
+        # chainable control — they cannot write XMM state.
+        by_addr = cpu.program.by_addr
+        pf = [0]
+        pt = [False]
+        for cls, _c, addr in flat:
+            mask = 0
+            touch = False
+            if cls is not None and cls in FP_TOUCH_CLASSES:
+                touch = True
+                instr = by_addr.get(addr)
+                if instr is not None:
+                    mask = instr.xmm_writes()
+            pf.append(pf[-1] | mask)
+            pt.append(pt[-1] or touch)
+        self.prefix_fp = pf
+        self.prefix_touch = pt
+        self.iter_fp_mask = pf[-1]
+        self.iter_fp_touch = pt[-1]
         self.fn = fn
         self.source = source
         self.runs = 0
@@ -210,6 +242,10 @@ class ChainTrace:
             cpu.work_cycles += cycles
         if instrs:
             cpu.instruction_count += instrs
+        if (self.iter_fp_touch and iters) or self.prefix_touch[pos]:
+            cpu.fp_quantum_touched = True
+            cpu.regs.fp_dirty |= (
+                (self.iter_fp_mask if iters else 0) | self.prefix_fp[pos])
         return iters * self.n_steps + pos
 
 

@@ -71,6 +71,7 @@ from repro.fpu import bits as B
 from repro.machine import hostfp
 from repro.machine.isa import (
     CONDITION_CODES,
+    FP_TOUCH_CLASSES,
     GPR_IDS,
     Imm,
     Instruction,
@@ -78,6 +79,7 @@ from repro.machine.isa import (
     Mem,
     OpClass,
     OPCODES,
+    xmm_write_mask,
     Reg,
     Xmm,
 )
@@ -188,6 +190,7 @@ class MicroOp:
     __slots__ = (
         "instr", "addr", "size", "end", "mnemonic", "opclass", "cost",
         "lanes", "ieee", "fp_trap_capable", "emu_kind", "emu_arg",
+        "xmm_writes", "fp_touch",
     )
 
     def __init__(self, instr: Instruction) -> None:
@@ -203,6 +206,12 @@ class MicroOp:
         self.ieee = info.ieee
         self.fp_trap_capable = info.opclass in (OpClass.FP_ARITH, OpClass.FP_CVT)
         self.emu_kind, self.emu_arg = _emu_kind(instr.mnemonic, info.opclass)
+        #: lazy-FP lowering-time summary: the XMM lane mask this uop
+        #: architecturally writes, and whether it touches FP state at
+        #: all (reads included — the #NM trigger set).  Static and
+        #: CPU-independent, so per-superblock unions are computed once.
+        self.xmm_writes = xmm_write_mask(instr)
+        self.fp_touch = info.opclass in FP_TOUCH_CLASSES
 
     @property
     def info(self):
@@ -1333,10 +1342,11 @@ class Superblock:
 
     __slots__ = ("entry", "end", "body", "classes", "class_counts",
                  "prefix_cost", "n_body", "tail", "tail_addr", "chainable",
-                 "chain_check", "links", "chain_root", "chain_shorts")
+                 "chain_check", "links", "chain_root", "chain_shorts",
+                 "prefix_fp", "prefix_touch", "fp_writes", "fp_touch")
 
     def __init__(self, entry, body, classes, prefix_cost, tail, tail_addr,
-                 chain_grade=0, end=None):
+                 chain_grade=0, end=None, uops=()):
         self.entry = entry
         #: exclusive end of the address range this block executes
         #: through (tail included).  Per-site invalidation drops a
@@ -1347,6 +1357,21 @@ class Superblock:
         self.class_counts = dict(Counter(classes))
         self.prefix_cost = prefix_cost
         self.n_body = len(body)
+        #: lazy-FP lowering-time summaries: ``prefix_fp[i]`` is the XMM
+        #: lane union the first ``i`` body uops write and
+        #: ``prefix_touch[i]`` whether any of them touch FP state, so a
+        #: (possibly partial) body run of ``i`` uops charges its dirty
+        #: set with one index each — dirty tracking per block dispatch,
+        #: not per instruction.
+        pf = [0]
+        pt = [False]
+        for uop in uops:
+            pf.append(pf[-1] | uop.xmm_writes)
+            pt.append(pt[-1] or uop.fp_touch)
+        self.prefix_fp = pf
+        self.prefix_touch = pt
+        self.fp_writes = pf[-1]
+        self.fp_touch = pt[-1]
         self.tail = tail
         self.tail_addr = tail_addr
         self.chainable = chain_grade > 0
@@ -2073,17 +2098,26 @@ class UopEngine:
         rbc = cpu.retired_by_class
         cycles = 0
         instrs = 0
+        fp_mask = 0
+        fp_touched = False
         for blk, count in full_runs.values():
             cycles += blk.prefix_cost[blk.n_body] * count
             instrs += blk.n_body * count
+            fp_mask |= blk.fp_writes
+            fp_touched = fp_touched or blk.fp_touch
             for cls, cnt in blk.class_counts.items():
                 rbc[cls] += cnt * count
         full_runs.clear()
         if cur is not None and i:
             cycles += cur.prefix_cost[i]
             instrs += i
+            fp_mask |= cur.prefix_fp[i]
+            fp_touched = fp_touched or cur.prefix_touch[i]
             for cls in cur.classes[:i]:
                 rbc[cls] += 1
+        if fp_touched:
+            cpu.fp_quantum_touched = True
+            cpu.regs.fp_dirty |= fp_mask
         if cycles:
             cpu.cycles += cycles
             cpu.work_cycles += cycles
@@ -2471,6 +2505,9 @@ class UopEngine:
                 cpu.cycles += cost
                 cpu.work_cycles += cost
                 cpu.instruction_count += i
+                if block.prefix_touch[i]:
+                    cpu.fp_quantum_touched = True
+                    cpu.regs.fp_dirty |= block.prefix_fp[i]
                 rbc = cpu.retired_by_class
                 if i == block.n_body:
                     for cls, cnt in block.class_counts.items():
@@ -2500,6 +2537,9 @@ class UopEngine:
                 cpu.cycles += cost
                 cpu.work_cycles += cost
                 cpu.instruction_count += i
+                if block.prefix_touch[i]:
+                    cpu.fp_quantum_touched = True
+                    cpu.regs.fp_dirty |= block.prefix_fp[i]
                 rbc = cpu.retired_by_class
                 for cls in block.classes[:i]:
                     rbc[cls] += 1
@@ -2514,6 +2554,7 @@ class UopEngine:
         patches = view.patches
         body = []
         classes = []
+        uops = []
         prefix = [0]
         tail = None
         tail_addr = None
@@ -2542,8 +2583,9 @@ class UopEngine:
                 break
             body.append(fn)
             classes.append(cls)
+            uops.append(uop)
             prefix.append(prefix[-1] + uop.cost)
             addr += uop.size
             end = addr
         return Superblock(entry, body, classes, prefix, tail, tail_addr,
-                          chain_grade, end=end)
+                          chain_grade, end=end, uops=uops)

@@ -1,0 +1,158 @@
+"""Mixed integer/FP thread ensemble (`mixed_mt`): the lazy-FP showcase.
+
+``threads`` pthread-style workers, of which only ``fp_threads`` touch
+the FP unit at all: the FP workers iterate a chaotic logistic map
+(``x = r*x*(1-x)``, pure XMM arithmetic), the rest run a pure-GPR
+xorshift64 mixing loop and never execute a single FP instruction.
+
+This is the workload shape the §3.1 lazy state discipline exists for:
+under eager FP switching every scheduler quantum pays a full XMM bank
+spill/reload even when an integer worker runs, so the (majority)
+integer quanta are pure overhead; under lazy switching those quanta
+retire zero FP-writing blocks and the save is elided entirely, with a
+modeled #NM ownership switch only when dispatch actually alternates
+between the FP workers.
+
+Like ``lorenz_mt`` this is generated assembly (the mini-C compiler has
+no thread-call support) and must run under a
+:class:`repro.machine.process.Process` for the thread host API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: logistic-map parameter: chaotic, and keeps x in (0, 1) forever.
+R = 3.73
+
+
+def fp_slots(threads: int, fp_threads: int) -> list[int]:
+    """Creation-order indices of the FP workers, spread evenly so
+    round-robin dispatch alternates integer and FP quanta (the
+    ownership-switch worst case rather than a lucky run of FP quanta)."""
+    if fp_threads <= 0:
+        return []
+    stride = max(threads // fp_threads, 1)
+    return [min(i * stride, threads - 1) for i in range(fp_threads)]
+
+
+def initial_x(fp_threads: int) -> list[float]:
+    """Distinct logistic-map seeds per FP shard, all inside (0, 1)."""
+    return [0.2 + 0.11 * i for i in range(fp_threads)]
+
+
+def generate_source(scale: int, threads: int, fp_threads: int) -> str:
+    """Emit the assembly: an FP `fworker` and an integer `iworker`, and
+    a `main` that creates all workers, joins them, and prints each FP
+    shard's final x then each integer shard's checksum."""
+    fp_threads = max(0, min(fp_threads, threads))
+    int_threads = threads - fp_threads
+    slots = set(fp_slots(threads, fp_threads))
+    seeds = initial_x(fp_threads)
+    xs = ", ".join(repr(float(v)) for v in seeds) if seeds else "0.0"
+    lines = [
+        ".data",
+        f"fx: .double {xs}",
+        f"rconst: .double {R!r}",
+        "one: .double 1.0",
+        f"ints: .quad {', '.join('0' for _ in range(max(int_threads, 1)))}",
+        f"nsteps: .quad {max(scale, 1)}",
+        "",
+        ".text",
+        "fworker:",
+        "  ; rdi = FP shard index; x lives in fx[rdi]",
+        "  mov rbx, fx",
+        "  movsd xmm0, [rbx + rdi*8]",
+        "  movsd xmm1, [rip + rconst]",
+        "  movsd xmm2, [rip + one]",
+        "  mov rcx, [rip + nsteps]",
+        "floop:",
+        "  ; x = r * x * (1 - x)",
+        "  movsd xmm3, xmm2",
+        "  subsd xmm3, xmm0",
+        "  mulsd xmm3, xmm0",
+        "  mulsd xmm3, xmm1",
+        "  movsd xmm0, xmm3",
+        "  dec rcx",
+        "  jne floop",
+        "  mov rbx, fx",
+        "  movsd [rbx + rdi*8], xmm0",
+        "  ret",
+        "",
+        "iworker:",
+        "  ; rdi = int shard index; xorshift64 over a per-shard seed.",
+        "  mov rax, rdi",
+        "  mov rbx, 2654435761",
+        "  imul rax, rbx",
+        "  mov rbx, 88172645463325252",
+        "  add rax, rbx",
+        "  mov rcx, [rip + nsteps]",
+        "iloop:",
+        "  mov rbx, rax",
+        "  shl rbx, 13",
+        "  xor rax, rbx",
+        "  mov rbx, rax",
+        "  shr rbx, 7",
+        "  xor rax, rbx",
+        "  mov rbx, rax",
+        "  shl rbx, 17",
+        "  xor rax, rbx",
+        "  dec rcx",
+        "  jne iloop",
+        "  mov rbx, ints",
+        "  mov [rbx + rdi*8], rax",
+        "  ret",
+        "",
+        "main:",
+    ]
+    fp_idx = 0
+    int_idx = 0
+    for i in range(threads):
+        if i in slots:
+            routine, arg = "fworker", fp_idx
+            fp_idx += 1
+        else:
+            routine, arg = "iworker", int_idx
+            int_idx += 1
+        lines += [
+            f"  mov rdi, {routine}",
+            f"  mov rsi, {arg}",
+            "  call thread_create",
+        ]
+    for tid in range(1, threads + 1):
+        lines += [
+            f"  mov rdi, {tid}",
+            "  call thread_join",
+        ]
+    for i in range(fp_threads):
+        lines += [
+            f"  movsd xmm0, [rip + fx + {8 * i}]",
+            "  call print_f64",
+        ]
+    for i in range(int_threads):
+        lines += [
+            "  mov rbx, ints",
+            f"  mov rdi, [rbx + {8 * i}]",
+            "  call print_i64",
+        ]
+    lines.append("  hlt")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class _AsmModule:
+    """Just enough module surface for the workload registry: compile()
+    assembles the generated source into a Program."""
+
+    source: str
+
+    def compile(self):
+        from repro.machine.assembler import assemble
+
+        return assemble(self.source)
+
+
+def build(scale: int = 400, threads: int = 6, fp_threads: int = 2) -> _AsmModule:
+    """``scale`` loop steps per worker; ``fp_threads`` of ``threads``
+    workers run the FP loop, the rest pure integer code."""
+    return _AsmModule(generate_source(scale, threads, fp_threads))

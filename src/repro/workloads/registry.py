@@ -13,6 +13,7 @@ from repro.workloads import (
     ffbench as _ffbench,
     lorenz as _lorenz,
     lorenz_mt as _lorenz_mt,
+    mixed_mt as _mixed_mt,
     three_body as _three_body,
 )
 
@@ -92,6 +93,15 @@ _WORKLOADS = {
             extra={"threads": 4},
             requires_process=True,
             fleet_scale=100,
+        ),
+        Workload(
+            "mixed_mt", "Mixed MT", _mixed_mt.build, 400,
+            "mostly-integer thread ensemble with a couple of FP "
+            "workers: the lazy-FP save-elision showcase (requires a "
+            "Process for the thread host API)",
+            extra={"threads": 6, "fp_threads": 2},
+            requires_process=True,
+            fleet_scale=150,
         ),
     ]
 }

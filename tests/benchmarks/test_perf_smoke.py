@@ -38,8 +38,10 @@ def test_pipeline_speedup_no_regression(tmp_path):
     out = tmp_path / "BENCH_pipeline.json"
     assert bench.main(["--quick", "--out", str(out)]) == 0
 
-    current = {r["workload"]: r for r in json.loads(out.read_text())["results"]}
-    baseline = {r["workload"]: r for r in json.loads(BASELINE.read_text())["results"]}
+    current_doc = json.loads(out.read_text())
+    baseline_doc = json.loads(BASELINE.read_text())
+    current = {r["workload"]: r for r in current_doc["results"]}
+    baseline = {r["workload"]: r for r in baseline_doc["results"]}
     assert set(current) == set(baseline)
 
     failures = []
@@ -75,4 +77,31 @@ def test_pipeline_speedup_no_regression(tmp_path):
                     "patch_churn: zero superblocks survived a churn sync")
             if not row.get("churn_events"):
                 failures.append("patch_churn: zero churn events (vacuous row)")
+
+    # ------------------------------------------------ lazy-FP ablation
+    # The §3.1 gate: lazy-on must beat lazy-off on the mostly-integer
+    # ensemble and must never regress lorenz_mt.  The host-seconds
+    # ratio gets the usual tolerance; the simulated-cycle ratio is
+    # deterministic, so it gets a hard floor instead.
+    cur_abl = {r["workload"]: r for r in current_doc.get("lazy_ablation", [])}
+    base_abl = {r["workload"]: r for r in baseline_doc.get("lazy_ablation", [])}
+    assert set(cur_abl) == set(base_abl), "lazy ablation rows changed"
+    for workload, base in base_abl.items():
+        row = cur_abl[workload]
+        floor = base["lazy_host_speedup"] * (1 - TOLERANCE)
+        if row["lazy_host_speedup"] < floor:
+            failures.append(
+                f"{workload}: lazy host speedup {row['lazy_host_speedup']:.2f}x "
+                f"< floor {floor:.2f}x (baseline {base['lazy_host_speedup']:.2f}x)")
+        if row["lazy_cycle_speedup"] < base["lazy_cycle_speedup"] * 0.95:
+            failures.append(
+                f"{workload}: lazy cycle speedup {row['lazy_cycle_speedup']:.2f}x "
+                f"< {base['lazy_cycle_speedup'] * 0.95:.2f}x — switch charges "
+                f"drifted (deterministic metric)")
+        if not row["fp_switches"] or not row["fp_saves_elided"]:
+            failures.append(f"{workload}: lazy ablation row is vacuous")
+    if "mixed_mt" in cur_abl and cur_abl["mixed_mt"]["lazy_host_speedup"] < 1.0:
+        failures.append(
+            "mixed_mt: lazy-on is slower than eager on the host — "
+            "the elision machinery costs more than it saves")
     assert not failures, "; ".join(failures)

@@ -32,6 +32,7 @@ EXPECTED = {
     "scheduler_deadlock": (False, DeadlockError),
     "scheduler_step_limit": (False, StepLimitError),
     "stale_trace_patch": (True, None),
+    "lazy_fp_leak": (True, None),
 }
 
 

@@ -158,6 +158,38 @@ def test_multithreaded_guests_in_fleet():
         jid: r.fingerprint() for jid, r in cold.items()}
 
 
+def test_lazy_fp_counters_reconcile_across_fleet():
+    """Per-guest lazy-FP scheduler counters (ownership switches, elided
+    saves) must travel through the fleet unchanged and reconcile exactly:
+    serial == inline scheduler, per-worker sums == fleet totals."""
+    from repro.harness.report import render_fleet
+
+    jobs = make_batch("mixed_mt", 3, scale=30)
+    cold = {j.job_id: run_guest(j, None) for j in jobs}
+    assert all(r.fp_switches > 0 for r in cold.values())
+    assert all(r.fp_saves_elided > 0 for r in cold.values())
+
+    report = FleetScheduler(workers=0).run(jobs)
+    by_id = {r.job_id: r for r in report.results}
+    for jid, r in cold.items():
+        assert by_id[jid].fp_switches == r.fp_switches
+        assert by_id[jid].fp_saves_elided == r.fp_saves_elided
+
+    fleet = report.fleet
+    assert fleet["fp_switches"] == sum(r.fp_switches for r in report.results)
+    assert fleet["fp_saves_elided"] == sum(
+        r.fp_saves_elided for r in report.results)
+    per_worker = fleet["per_worker"]
+    assert sum(w["fp_switches"] for w in per_worker.values()) == (
+        fleet["fp_switches"])
+    assert sum(w["fp_saves_elided"] for w in per_worker.values()) == (
+        fleet["fp_saves_elided"])
+
+    text = render_fleet(fleet, "fleet")
+    assert "FP switches/elided" in text
+    assert f"{fleet['fp_switches']:>10} / {fleet['fp_saves_elided']}" in text
+
+
 def test_warm_template_reuses_caches(batch):
     """Within one scheduler process the second guest of a template must
     reuse the first guest's compiled trace code (the warm-start the

@@ -153,6 +153,82 @@ class TestALUDifferential:
         assert cpu.regs.gpr[1] == a
 
 
+# ------------------------------------------------ register file snapshots
+lane_masks = st.integers(min_value=0, max_value=(1 << 32) - 1)
+xmm_banks = st.lists(
+    st.lists(u64s, min_size=2, max_size=2), min_size=16, max_size=16
+)
+
+
+@st.composite
+def register_files(draw):
+    from repro.machine.registers import Flags, RegisterFile
+
+    regs = RegisterFile()
+    regs.gpr = draw(st.lists(u64s, min_size=len(regs.gpr),
+                             max_size=len(regs.gpr)))
+    regs.xmm = draw(xmm_banks)
+    regs.rip = draw(st.integers(min_value=0, max_value=2**40))
+    regs.flags = Flags(*(draw(st.booleans()) for _ in range(5)))
+    regs.mxcsr = draw(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    regs.fp_dirty = draw(lane_masks)
+    regs.fp_live = draw(lane_masks)
+    return regs
+
+
+class TestRegisterSnapshotProperty:
+    @given(register_files())
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_restore_round_trip(self, regs):
+        """Every architectural field — including the lazy-FP dirty and
+        live lane masks — survives snapshot() -> restore() intact."""
+        from repro.machine.registers import RegisterFile
+
+        snap = regs.snapshot()
+        other = RegisterFile()
+        other.restore(snap)
+        assert other.gpr == regs.gpr
+        assert other.xmm == regs.xmm
+        assert other.rip == regs.rip
+        assert other.flags == regs.flags
+        assert other.mxcsr == regs.mxcsr
+        assert other.fp_dirty == regs.fp_dirty
+        assert other.fp_live == regs.fp_live
+
+    @given(register_files())
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_is_isolated(self, regs):
+        """Mutating the restored file must not write through into the
+        snapshot (the frame-mode handler contract)."""
+        snap = regs.snapshot()
+        regs.write_gpr(0, (regs.gpr[0] + 1) & U64)
+        regs.write_xmm_lane(5, 1, regs.xmm[5][1] ^ U64)
+        regs.flags.zf = not regs.flags.zf
+        regs.fp_dirty ^= 0b1
+        assert snap["gpr"][0] == (regs.gpr[0] - 1) & U64
+        assert snap["xmm"][5][1] == regs.xmm[5][1] ^ U64
+        assert snap["flags"].zf != regs.flags.zf
+        assert snap["fp_dirty"] == regs.fp_dirty ^ 0b1
+
+    @given(register_files(), st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_fork_preserves_fp_metadata(self, regs, owned):
+        """fork_process clones the caller's registers through
+        snapshot()/restore(), so the lazy-FP dirty/live masks and the
+        FP-unit ownership must come across bit-for-bit."""
+        from repro.machine.process import Process, fork_process
+
+        parent = Process(assemble("main:\n  hlt\n"))
+        parent.main.regs.restore(regs.snapshot())
+        if owned:
+            parent.fp_owner = parent.main
+        child = fork_process(parent)
+        assert child.main.regs.fp_dirty == regs.fp_dirty
+        assert child.main.regs.fp_live == regs.fp_live
+        assert child.main.regs.xmm == regs.xmm
+        assert (child.fp_owner is child.main) == owned
+
+
 class TestMemoryProperty:
     @given(st.integers(min_value=0x600000, max_value=0x60FF00),
            st.binary(min_size=1, max_size=64))

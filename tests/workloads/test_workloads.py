@@ -51,10 +51,10 @@ def run_virtualized(name: str, config: FPVMConfig, scale: int | None = None, **k
 
 
 class TestRegistry:
-    def test_seven_workloads(self):
+    def test_registered_workloads(self):
         assert set(WORKLOAD_NAMES) == {
             "lorenz", "three_body", "double_pendulum", "fbench", "ffbench", "enzo",
-            "lorenz_mt",
+            "lorenz_mt", "mixed_mt",
         }
 
     def test_unknown_rejected(self):
