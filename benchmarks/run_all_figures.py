@@ -25,9 +25,11 @@ def main() -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     t0 = time.time()
 
-    table = figures.trap_microbenchmark()
     publish(RESULTS_DIR, "trap_microbench",
-            report.render_trap_costs(table, "Trap delegation microbenchmark (§2.3/§3)"))
+            report.render_trap_microbench(figures.trap_microbenchmark(),
+                                          figures.trap_class_microbenchmark()))
+    publish(RESULTS_DIR, "trap_heatmap",
+            report.render_trap_flow(figures.trap_heatmap()))
     publish(RESULTS_DIR, "fig03",
             report.render_magic_costs(figures.figure3(),
                                       "Figure 3: magic traps vs int3 correctness traps"))

@@ -15,6 +15,10 @@ figures [--skip-mpfr] [--out DIR]
 conformance [--full] [--matrix-only | --faults-only] [--scenario NAME]
     Differential conformance sweep (NONE/SEQ/SHORT/SEQ_SHORT × altmath
     × patch source × magic traps) plus fault-injection scenarios.
+flow WORKLOAD [--config NAME] [--tier NAME] [--scale N]
+    Exception-flow observability: run one workload with NaN-provenance
+    recording on and print the per-RIP trap heatmap plus the NaN-flow
+    graph (birth sites, propagation edges, kill sites).
 fleet WORKLOAD [--guests N] [--workers N] [--scale N] [--verify]
     Run a multiprocess guest fleet with shared program pages, COW
     memory and warm caches; report guests/sec and p50/p99 latency.
@@ -147,6 +151,33 @@ def _cmd_fleet(args) -> int:
     return 1 if rep.failed else 0
 
 
+#: host execution tiers the flow seam is independent of: the recorder
+#: sits behind the trap/emulate funnel all four share, so the graphs
+#: must come out identical whichever tier executed the guest.
+_FLOW_TIERS = {
+    "interp": dict(uops=False, chain=False, trace=False),
+    "uops": dict(uops=True, chain=False, trace=False),
+    "chained": dict(uops=True, chain=True, trace=False),
+    "traced": dict(uops=True, chain=True, trace=True),
+}
+
+
+def _cmd_flow(args) -> int:
+    w = get_workload(args.workload)
+    tier = _FLOW_TIERS[args.tier]
+    cfg = _CONFIG_FACTORY[args.config](flow=True, uops=tier["uops"])
+    runner = run_fpvm_process if w.requires_process else run_fpvm
+    result = runner(args.workload, cfg, scale=args.scale,
+                    chain=tier["chain"], trace=tier["trace"])
+    label = f"{args.workload} ({args.config}, {args.tier} tier)"
+    print(report.render_trap_heatmap(result.flow, result.program,
+                                     title=f"Trap heatmap: {label}"))
+    print()
+    print(report.render_flow_graph(result.flow, result.program,
+                                   title=f"NaN-flow graph: {label}"))
+    return 0
+
+
 def _cmd_figures(args) -> int:
     import pathlib
 
@@ -158,8 +189,9 @@ def _cmd_figures(args) -> int:
         print(text)
         print()
 
-    publish("trap_microbench", report.render_trap_costs(
-        F.trap_microbenchmark(), "Trap delegation microbenchmark (§2.3/§3)"))
+    publish("trap_microbench", report.render_trap_microbench(
+        F.trap_microbenchmark(), F.trap_class_microbenchmark()))
+    publish("trap_heatmap", report.render_trap_flow(F.trap_heatmap()))
     publish("fig03", report.render_magic_costs(
         F.figure3(), "Figure 3: magic traps vs int3 correctness traps"))
     boxed = F.Suite("boxed_ieee")
@@ -222,6 +254,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--skip-mpfr", action="store_true")
     p_fig.add_argument("--out", default="benchmarks/results")
 
+    p_flow = sub.add_parser(
+        "flow", help="trap heatmap + NaN-flow graph for one workload")
+    p_flow.add_argument("--workload", choices=WORKLOAD_NAMES, required=True)
+    p_flow.add_argument("--config", choices=sorted(_CONFIG_FACTORY),
+                        default="none",
+                        help="none traps everything: richest heatmap")
+    p_flow.add_argument("--tier", choices=sorted(_FLOW_TIERS), default="traced")
+    p_flow.add_argument("--scale", type=int, default=None)
+
     p_fleet = sub.add_parser(
         "fleet", help="run a multiprocess guest fleet (COW + warm caches)")
     p_fleet.add_argument("workload", choices=WORKLOAD_NAMES)
@@ -245,6 +286,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "characterize": _cmd_characterize,
         "figures": _cmd_figures,
+        "flow": _cmd_flow,
         "fleet": _cmd_fleet,
         "conformance": conformance_cli.cmd_conformance,
     }[args.command]

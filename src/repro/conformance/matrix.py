@@ -177,6 +177,38 @@ def full_plan() -> list[Group]:
     return groups
 
 
+def trap_class_plan() -> list[Group]:
+    """The trap-diverse rows: the two storm workloads (every #XF class —
+    Invalid, Inexact, Denormal, Overflow, Underflow, DivByZero — fires
+    on every iteration of one or the other) swept across the patch
+    source / delivery / altmath axes.  Differential identity here means
+    the rare-class delivery paths are as pure as the invalid/inexact
+    ones the §6 workloads exercise."""
+    return [
+        Group("denorm_storm", scale=60),
+        Group("denorm_storm", scale=60, patch_source="static", magic=False),
+        Group("denorm_storm", scale=40, altmath="mpfr"),
+        Group("range_storm", scale=50),
+        Group("range_storm", scale=50, patch_source="static", magic=False),
+    ]
+
+
+def trap_class_coverage(scales: dict | None = None) -> dict[str, dict[str, int]]:
+    """Measured per-class trap counts for the storm workloads under the
+    NONE config with flow recording on (trap-everything shows every
+    class at its true site).  The CLI uses this to prove the suite is
+    trap-diverse: every class must appear somewhere in the union."""
+    from repro.harness.runner import run_fpvm
+
+    merged = {"denorm_storm": 40, "range_storm": 40}
+    merged.update(scales or {})
+    out = {}
+    for w, scale in merged.items():
+        result = run_fpvm(w, FPVMConfig.none(flow=True), scale=scale)
+        out[w] = {c: int(n) for c, n in sorted(result.flow.traps_by_class.items())}
+    return out
+
+
 # --------------------------------------------------------------- sweep
 def run_group(group: Group, max_steps: int = oracle.DEFAULT_MAX_STEPS) -> GroupResult:
     """Native run + the four trap configs + comparison for one group."""

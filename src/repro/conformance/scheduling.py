@@ -128,16 +128,23 @@ def _mixed_mt_program():
     return build_program("mixed_mt", scale=30, threads=4, fp_threads=2)
 
 
+def _denorm_storm_program():
+    return build_program("denorm_storm", scale=60)
+
+
 #: label -> zero-arg Program factory.  ``staggered`` exercises the
 #: join-order/park-resume machinery; ``lorenz_mt`` is the evaluation
 #: workload (long straight-line FP bodies, the superblock best case);
 #: ``mixed_mt`` alternates integer-only and FP quanta, so the lazy-FP
 #: ownership switching (§3.1) must stay bit-identical across tiers and
-#: quanta too.
+#: quanta too; ``denorm_storm`` puts the rare trap classes (denormal,
+#: underflow) on the scheduling axis, so preemption mid-trap-storm
+#: cannot perturb rare-class delivery either.
 PROGRAMS = {
     "staggered": _staggered_program,
     "lorenz_mt": _lorenz_mt_program,
     "mixed_mt": _mixed_mt_program,
+    "denorm_storm": _denorm_storm_program,
 }
 
 #: label -> FPVMConfig factory taking the uop-pipeline switch, or None

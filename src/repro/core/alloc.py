@@ -41,6 +41,9 @@ class BoxAllocator:
         self.capacity = capacity
         self.allocs_since_gc = 0
         self.total_allocations = 0
+        #: sweep observer (the exception-flow recorder's ``collected``
+        #: kill hook); called with the list of freed pointers.
+        self.on_free = None
 
     # ---------------------------------------------------------- allocate
     def alloc(self, value) -> int:
@@ -113,6 +116,8 @@ class BoxAllocator:
         for ptr in dead:
             del self._boxes[ptr]
             self._free.append(ptr)
+        if dead and self.on_free is not None:
+            self.on_free(dead)
         self.allocs_since_gc = 0
         return len(dead), len(pages)
 

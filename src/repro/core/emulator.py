@@ -125,6 +125,9 @@ class Emulator:
         vm.charge("bind", vm.costs.bind_per_operand * binding.cost_units)
         vm.charge("emul", vm.costs.emul_dispatch)
 
+        flow = vm.flow
+        if flow is not None:
+            flow.begin_op(uop.addr)
         kind = uop.emu_kind
         if uop.fp_trap_capable:
             self._emulate_fp(kind, uop, binding, context)
@@ -134,6 +137,8 @@ class Emulator:
             self._emulate_fp_move(uop.mnemonic, binding, context)
         else:
             self._emulate_int_move(uop.mnemonic, binding, context)
+        if flow is not None:
+            flow.end_op()
         vm.telemetry.emulated_instructions += 1
         vm.ledger.count("emulated_instructions")
         return True
@@ -145,6 +150,8 @@ class Emulator:
         if nanbox.is_boxed(bits):
             ptr, negated = nanbox.unbox(bits)
             if vm.allocator.owns(ptr):
+                if vm.flow is not None:
+                    vm.flow.note_source(ptr)
                 vm.charge("altmath", vm.altmath.costs.load)
                 value = vm.allocator.load(ptr)
                 if negated:
@@ -160,10 +167,14 @@ class Emulator:
         box (``context`` provides GC roots for emergency collection)."""
         vm = self.vm
         if vm.altmath.is_nan_value(value):
+            if vm.flow is not None:
+                vm.flow.note_clamp()
             return B.CANONICAL_QNAN
         vm.charge("altmath", vm.altmath.costs.box)
         ptr = vm.alloc_box(value, context)
         vm.telemetry.boxes_allocated += 1
+        if vm.flow is not None:
+            vm.flow.note_birth(ptr)
         return nanbox.box_bits(ptr)
 
     def demote_bits(self, bits: int) -> int:
@@ -173,6 +184,8 @@ class Emulator:
         if nanbox.is_boxed(bits):
             ptr, negated = nanbox.unbox(bits)
             if vm.allocator.owns(ptr):
+                if vm.flow is not None:
+                    vm.flow.record_demote(ptr)
                 vm.charge("altmath", vm.altmath.costs.demote)
                 vm.telemetry.demotions += 1
                 out = vm.altmath.demote(vm.allocator.load(ptr))

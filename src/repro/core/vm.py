@@ -30,6 +30,7 @@ from repro.machine.costs import DEFAULT_COSTS
 from repro.machine.program import PatchKind
 from repro.machine.registers import MXCSR_DEFAULT, MXCSR_FPVM
 from repro.machine.uops import uops_enabled_default
+from repro.observability import FlowRecorder, classify_flags, flow_enabled_default
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,13 @@ class FPVMConfig:
     #: promote a trace into a compiled-trace closure once it has been
     #: emulated this many times (0 disables the compiled tier).
     trace_compile_threshold: int = 8
+    #: exception-flow observability: record NaN-box provenance (birth
+    #: RIP + trap class + generation), propagation edges, kill sites
+    #: and per-RIP trap heatmaps.  None = the ``FPVM_FLOW`` environment
+    #: knob (default off); True/False force it for this run.  Purely
+    #: observational: architectural state and cycle accounting are
+    #: identical either way.
+    flow: bool | None = None
 
     # ------------------------------------------------- §6 preset configs
     @classmethod
@@ -128,6 +136,13 @@ class FPVM:
             self.config.uops if self.config.uops is not None
             else uops_enabled_default()
         )
+        #: exception-flow recorder, or None when disabled — every hook
+        #: site guards on that, so the disabled path costs nothing.
+        flow_on = (self.config.flow if self.config.flow is not None
+                   else flow_enabled_default())
+        self.flow = FlowRecorder() if flow_on else None
+        if self.flow is not None:
+            self.allocator.on_free = self.flow.on_free
 
     # ------------------------------------------------------------ attach
     def attach(self, cpu, kernel) -> "FPVM":
@@ -278,8 +293,12 @@ class FPVM:
             self.telemetry.spurious_traps += 1
             return False
         self.telemetry.traps += 1
+        if self.flow is not None:
+            self.flow.begin_trap(trap.addr, classify_flags(trap.fp_flags))
         saved = self._fp_entry_save(context, trap)
         resume = self.sequencer.handle_fp_trap(context, trap)
+        if self.flow is not None:
+            self.flow.end_trap()
         self._fp_exit_restore(context, saved)
         context.rip = resume
         self._maybe_gc(context)
@@ -407,6 +426,8 @@ class FPVM:
         if nanbox.is_boxed(bits):
             ptr, negated = nanbox.unbox(bits)
             if self.allocator.owns(ptr):
+                if self.flow is not None:
+                    self.flow.note_source(ptr)
                 self.charge("altmath", self.altmath.costs.load)
                 value = self.allocator.load(ptr)
                 if negated:

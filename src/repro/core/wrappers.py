@@ -158,6 +158,11 @@ def _make_libm_forward_wrapper(vm, host: HostFunction):
         vm.telemetry.fcall_events += 1
         vm.ledger.count("libm_calls")
         saved = _guard_save(vm, cpu, clobber)
+        flow = vm.flow
+        if flow is not None:
+            # wrapper births flow from the call site, outside any trap
+            # (birth class "fcall").
+            flow.begin_op(getattr(cpu, "rip", 0))
         args = []
         for i in range(host.fp_args):
             bits = cpu.regs.xmm[i][0]
@@ -165,12 +170,18 @@ def _make_libm_forward_wrapper(vm, host: HostFunction):
         vm.charge("altmath", vm.altmath.costs.libm_fn(host.name))
         result = vm.altmath.libm(host.name, *args)
         if vm.altmath.is_nan_value(result):
+            if flow is not None:
+                flow.note_clamp()
             out = 0xFFF8_0000_0000_0000  # canonical NaN
         else:
             vm.charge("altmath", vm.altmath.costs.box)
             ptr = vm.alloc_box(result, cpu)
             vm.telemetry.boxes_allocated += 1
+            if flow is not None:
+                flow.note_birth(ptr)
             out = nanbox.box_bits(ptr)
+        if flow is not None:
+            flow.end_op()
         cpu.regs.write_xmm128(0, out, 0)
         _guard_restore(vm, cpu, saved, 0b11)
 

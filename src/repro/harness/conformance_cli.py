@@ -4,8 +4,9 @@ the fault-injection scenarios from the command line.
 Default is the smoke grid (≈30 cells, a couple of seconds), the
 batched-vs-stepwise scheduling axis, and every fault scenario;
 ``--full`` sweeps the whole matrix, ``--faults-only`` /
-``--matrix-only`` / ``--sched-only`` cut it down, ``--scenario NAME``
-runs one injected fault.  Exit status is non-zero on any mismatch,
+``--matrix-only`` / ``--sched-only`` cut it down, ``--trap-classes``
+runs the trap-diverse storm rows plus a per-#XF-class coverage gate,
+and ``--scenario NAME`` runs one injected fault.  Exit status is non-zero on any mismatch,
 invariant failure, or undetected fault, so CI can gate on it directly.
 """
 
@@ -30,10 +31,45 @@ def add_subparser(sub) -> None:
                       help="skip the matrix sweep")
     what.add_argument("--sched-only", action="store_true",
                       help="run only the batched-scheduling axis")
+    what.add_argument("--trap-classes", action="store_true",
+                      help="run only the trap-diverse rows (storm "
+                           "workloads) + per-class coverage check")
     p.add_argument("--scenario", choices=sorted(faults.SCENARIOS),
                    help="run a single fault scenario")
     p.add_argument("--verbose", action="store_true",
                    help="print each group as it completes")
+
+
+def _cmd_trap_classes(args) -> int:
+    """Trap-diverse rows + the per-class coverage gate: every #XF class
+    must both survive the differential sweep and actually fire."""
+    from repro.observability import TRAP_CLASSES
+
+    plan = matrix.trap_class_plan()
+    print(f"== trap-class matrix ({len(plan)} groups) ==")
+    progress = None
+    if args.verbose:
+        progress = lambda r: print(f"  done {r.group.label}")
+    report = matrix.sweep(plan, progress=progress)
+    print(matrix.render_report(report))
+    print()
+
+    coverage = matrix.trap_class_coverage()
+    print("== trap-class coverage (NONE config, flow telemetry) ==")
+    header = f"  {'workload':<16}" + "".join(f"{c[:6]:>9}" for c in TRAP_CLASSES)
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    union = set()
+    for w, counts in coverage.items():
+        union |= {c for c, n in counts.items() if n}
+        print(f"  {w:<16}" + "".join(f"{counts.get(c, 0):>9}" for c in TRAP_CLASSES))
+    missing = [c for c in TRAP_CLASSES if c not in union]
+    print()
+    if missing:
+        print(f"trap classes never raised: {', '.join(missing)}")
+    failed = (not report.ok) or bool(missing)
+    print("conformance: FAIL" if failed else "conformance: all checks passed")
+    return 1 if failed else 0
 
 
 def cmd_conformance(args) -> int:
@@ -43,6 +79,9 @@ def cmd_conformance(args) -> int:
         outcome = faults.run_scenario(args.scenario)
         print(outcome)
         return 0 if outcome.ok else 1
+
+    if args.trap_classes:
+        return _cmd_trap_classes(args)
 
     if not (args.faults_only or args.sched_only):
         plan = matrix.full_plan() if args.full else matrix.smoke_plan()

@@ -115,6 +115,108 @@ def figure2(suite: Suite | None = None) -> TrapCostTable:
     return trap_microbenchmark()
 
 
+# ------------------------------------------- per-class trap microbenchmark
+#: class-pure single-op kernels: both operands are constants reloaded
+#: from ``.data`` every iteration, so the op keeps its true #XF class on
+#: every trap (a boxed operand would turn every later trap into Invalid).
+#: Ordered by the dispatcher's classification priority.
+TRAP_CLASS_KERNELS = (
+    ("invalid", "/", 0.0, 0.0),
+    ("divzero", "/", 1.0, 0.0),
+    ("denormal", "*", 1e-310, 1.0),
+    ("overflow", "*", 1e308, 1e10),
+    ("underflow", "*", 1e-160, 1e-165),
+    ("inexact", "/", 1.0, 3.0),
+)
+
+
+@dataclass
+class TrapClassRow:
+    """Measured per-trap delivery cost for one #XF trap class."""
+
+    trap_class: str
+    traps: int
+    hw_per_trap: float
+    signal_per_trap: float  # hw + kern + ret down the SIGFPE path
+    short_per_trap: float   # hw + kern + ret through the short circuit
+
+    @property
+    def reduction(self) -> float:
+        return self.signal_per_trap / max(self.short_per_trap, 1e-9)
+
+
+def _class_pure_program(op: str, a: float, b: float, scale: int):
+    from repro.compiler import Bin, For, INum, Let, Module, Num
+    from repro.machine.hostlib import install_host_library
+
+    m = Module()
+    main = m.function("main")
+    main.emit(For("t", INum(0), INum(scale), [Let("x", Bin(op, Num(a), Num(b)))]))
+    program = m.compile()
+    install_host_library(program)
+    return program
+
+
+def trap_class_microbenchmark(scale: int = 40) -> list[TrapClassRow]:
+    """Per-trap delivery cost broken out by #XF class, measured on
+    class-pure kernels (one constant-operand op per iteration).  The
+    hardware dispatch column carries the Wittmann et al. microcode
+    assist surcharge for denormal/underflow (and smaller ones for
+    overflow/divide-by-zero); invalid and inexact pay the base cost."""
+    from repro.core.vm import FPVM, FPVMConfig
+    from repro.kernel.kernel import LinuxKernel
+    from repro.machine.cpu import CPU
+
+    def one(op, a, b, short: bool):
+        cfg = (FPVMConfig.short() if short else FPVMConfig.none()).with_(
+            patch_site_source="none", wrap_foreign=False, collect_trace_stats=False
+        )
+        cpu = CPU(_class_pure_program(op, a, b, scale))
+        kernel = LinuxKernel()
+        cpu.kernel = kernel
+        vm = FPVM(cfg).attach(cpu, kernel)
+        cpu.run()
+        n = max(vm.telemetry.traps, 1)
+        ledger = vm.ledger.snapshot()
+        per = {k: v / n for k, v in ledger.items()}
+        return n, per.get("hw", 0.0) + per.get("kernel", 0.0) + per.get("ret", 0.0), per.get("hw", 0.0)
+
+    rows = []
+    for cls, op, a, b in TRAP_CLASS_KERNELS:
+        traps, signal_per, hw_per = one(op, a, b, short=False)
+        _, short_per, _ = one(op, a, b, short=True)
+        rows.append(TrapClassRow(
+            trap_class=cls,
+            traps=traps,
+            hw_per_trap=hw_per,
+            signal_per_trap=signal_per,
+            short_per_trap=short_per,
+        ))
+    return rows
+
+
+# ------------------------------------------------------------ trap heatmap
+#: small fixed scales so the heatmap figure is quick and deterministic;
+#: the two storms show class diversity, lorenz anchors the common case.
+HEATMAP_WORKLOADS = ("denorm_storm", "range_storm", "lorenz")
+_HEATMAP_SCALES = {"denorm_storm": 60, "range_storm": 50, "lorenz": 40}
+
+
+def trap_heatmap(workloads=HEATMAP_WORKLOADS, scales: dict | None = None):
+    """Per-RIP trap heatmaps + NaN-flow graphs under the NONE config
+    (trap-everything exposes every class at its true site) with flow
+    recording forced on.  Returns ``{workload: (recorder, program)}``."""
+    from repro.core.vm import FPVMConfig
+
+    merged = dict(_HEATMAP_SCALES)
+    merged.update(scales or {})
+    out = {}
+    for w in workloads:
+        result = run_fpvm(w, FPVMConfig.none(flow=True), scale=merged.get(w))
+        out[w] = (result.flow, result.program)
+    return out
+
+
 # ---------------------------------------------------------------- Figure 3
 @dataclass
 class MagicTrapCosts:

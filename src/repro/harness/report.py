@@ -6,6 +6,7 @@ from __future__ import annotations
 
 from repro.harness.configs import CONFIG_ORDER
 from repro.machine.costs import LEDGER_CATEGORIES
+from repro.observability import render_flow_graph, render_trap_heatmap  # noqa: F401
 
 _DISPLAY = {
     "lorenz": "Lorenz",
@@ -14,6 +15,8 @@ _DISPLAY = {
     "fbench": "fbench",
     "ffbench": "ffbench",
     "enzo": "Enzo",
+    "denorm_storm": "Denorm Storm",
+    "range_storm": "Range Storm",
 }
 
 
@@ -151,6 +154,50 @@ def render_trap_costs(table, title: str) -> str:
                  "(paper: ~8x)")
     lines.append(f"  total trap cost reduction: {table.total_reduction:.1f}x "
                  "(paper: 5980 -> ~760, ~7.9x)")
+    return "\n".join(lines)
+
+
+def render_trap_class_costs(rows, title: str) -> str:
+    """Per-#XF-class delivery cost table: every trap class gets its own
+    measured hw/signal/short column (the Wittmann et al. surcharge note:
+    denormal and underflow dispatch carries a microcode assist)."""
+    lines = [title, ""]
+    header = (f"  {'class':<11}{'traps':>7}{'hw/trap':>10}"
+              f"{'signal/trap':>13}{'short/trap':>12}{'reduction':>11}")
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for r in rows:
+        lines.append(
+            f"  {r.trap_class:<11}{r.traps:>7}{r.hw_per_trap:>10.0f}"
+            f"{r.signal_per_trap:>13.0f}{r.short_per_trap:>12.0f}"
+            f"{r.reduction:>10.1f}x"
+        )
+    lines.append("")
+    lines.append("  (class-pure constant-operand kernels; hw/trap = base "
+                 "#XF dispatch + per-class assist surcharge)")
+    return "\n".join(lines)
+
+
+def render_trap_microbench(table, rows,
+                           title: str = "Trap delegation microbenchmark (§2.3/§3)") -> str:
+    """The published trap_microbench figure: the headline delegation
+    table followed by the per-class cost breakdown."""
+    return (render_trap_costs(table, title) + "\n\n"
+            + render_trap_class_costs(
+                rows, "Per-class #XF dispatch cost (§2.3, Wittmann et al. note)"))
+
+
+def render_trap_flow(heatmap_data, title: str = "Trap heatmaps and NaN-flow graphs") -> str:
+    """The trap_heatmap figure: per-RIP heatmap + NaN-flow graph for
+    each trap-diverse workload, one section per workload."""
+    lines = [title]
+    for w, (recorder, program) in heatmap_data.items():
+        lines.append("")
+        lines.append(render_trap_heatmap(
+            recorder, program, title=f"Trap heatmap: {_name(w)}"))
+        lines.append("")
+        lines.append(render_flow_graph(
+            recorder, program, title=f"NaN-flow graph: {_name(w)}"))
     return "\n".join(lines)
 
 

@@ -51,6 +51,9 @@ class HostPerf:
     #: guests/sec, p50/p99 guest latency, COW faults, retries/crashes,
     #: and per-worker warm-cache hit rates.
     fleet: dict | None = None
+    #: exception-flow summary (FlowRecorder.as_dict()) when the run had
+    #: the ``FPVM_FLOW`` knob / ``flow`` config field on, else None.
+    flow: dict | None = None
 
     @property
     def ips(self) -> float:
@@ -82,6 +85,9 @@ class FPVMResult:
     telemetry: object
     program: object
     host: HostPerf | None = None
+    #: the run's FlowRecorder (full provenance graph) when exception-
+    #: flow observability was enabled, else None.
+    flow: object = None
 
     @property
     def altmath_cycles(self) -> int:
@@ -265,6 +271,8 @@ def run_fpvm_process(
     host = _process_host_perf(proc, seconds)
     host.compiled_traces = t.compiled_traces
     host.compiled_trace_hits = t.compiled_trace_hits
+    if vm.flow is not None:
+        host.flow = vm.flow.as_dict()
     return FPVMResult(
         workload=workload,
         config_name=config_name or _config_label(config),
@@ -279,6 +287,7 @@ def run_fpvm_process(
         telemetry=t,
         program=program,
         host=host,
+        flow=vm.flow,
     )
 
 
@@ -313,6 +322,8 @@ def run_fpvm(
         chain=_cpu_chain_summary(cpu),
         trace=_cpu_trace_summary(cpu),
     )
+    if vm.flow is not None:
+        host.flow = vm.flow.as_dict()
     return FPVMResult(
         workload=workload,
         config_name=config_name or _config_label(config),
@@ -327,6 +338,7 @@ def run_fpvm(
         telemetry=t,
         program=program,
         host=host,
+        flow=vm.flow,
     )
 
 

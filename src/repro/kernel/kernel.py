@@ -59,7 +59,12 @@ class LinuxKernel:
         """Entry point invoked by the CPU on a hardware trap."""
         self.trap_counts[trap.kind] += 1
         self._check_storm(cpu, trap)
-        self._charge(cpu, "hw", self.costs.hw_trap)
+        if trap.kind is TrapKind.XF:
+            # #XF dispatch pays a trap-class-dependent hardware cost
+            # (denormal microcode assists etc. — the Wittmann note).
+            self._charge(cpu, "hw", self.costs.xf_trap_cost(trap.fp_flags))
+        else:
+            self._charge(cpu, "hw", self.costs.hw_trap)
 
         if trap.kind is TrapKind.XF:
             module = self.fpvm_module

@@ -42,6 +42,19 @@ class CostModel:
     short_return: int = 100         # exit stub + iretq-style return
     kernel_internal: int = 120      # math_error()/module bookkeeping
 
+    # --- per-class #XF hardware surcharge (Wittmann et al. note) ---------
+    # Not every #XF costs the same before the kernel even sees it:
+    # denormal operands take a microcode assist on top of the fault,
+    # gradual-underflow results pay a smaller one, and overflow /
+    # divide-by-zero re-steer the pipeline earlier than a completed op.
+    # Invalid and inexact — the classes every boxed-operand trap raises
+    # — pay only the base ``hw_trap``, so invalid/inexact-dominated
+    # workloads are unaffected by these knobs.
+    hw_trap_denormal_extra: int = 260
+    hw_trap_underflow_extra: int = 180
+    hw_trap_overflow_extra: int = 90
+    hw_trap_divzero_extra: int = 50
+
     # --- magic traps / wraps (§5.2, Figure 3) ----------------------------
     magic_call: int = 50            # patched call -> trampoline -> callback
     magic_save_restore: int = 50    # trampoline red-zone shift + reg save
@@ -80,6 +93,23 @@ class CostModel:
     corr_handler: int = 150         # demotion check + single-step setup
     fcall_wrapper: int = 90         # wrapper stub save/demote/restore
     host_call: int = 30             # plain host ("libc") call overhead
+
+    def xf_trap_cost(self, fp_flags) -> int:
+        """Hardware #XF dispatch cost for one delivered trap: the base
+        ``hw_trap`` plus the trap-class surcharge.  The priority order
+        must stay in sync with
+        :func:`repro.observability.flow.classify_flags`."""
+        if fp_flags is None or fp_flags.invalid:
+            return self.hw_trap
+        if fp_flags.zero_divide:
+            return self.hw_trap + self.hw_trap_divzero_extra
+        if fp_flags.denormal:
+            return self.hw_trap + self.hw_trap_denormal_extra
+        if fp_flags.overflow:
+            return self.hw_trap + self.hw_trap_overflow_extra
+        if fp_flags.underflow:
+            return self.hw_trap + self.hw_trap_underflow_extra
+        return self.hw_trap
 
 
 DEFAULT_COSTS = CostModel()

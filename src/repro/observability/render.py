@@ -1,0 +1,94 @@
+"""Paper-style text renderers for the exception-flow layer: per-RIP
+trap heatmaps and NaN-flow graphs (birth -> propagation -> kill).
+
+Same conventions as :mod:`repro.harness.report`: plain fixed-width
+tables, deterministic ordering, no timestamps — so the output can sit
+under the golden-figure diff tests.
+"""
+
+from __future__ import annotations
+
+from repro.observability.flow import KILL_REASONS, TRAP_CLASSES
+
+#: column order for heatmap tables (the six MXCSR classes; the
+#: ``disabled`` trap-everything class is appended only when present).
+_HEAT_COLS = TRAP_CLASSES
+
+
+def _mnemonic(program, rip: int) -> str:
+    if program is None:
+        return ""
+    instr = program.by_addr.get(rip)
+    return instr.mnemonic if instr is not None else "?"
+
+
+def render_trap_heatmap(recorder, program=None, title: str = "Trap heatmap",
+                        top: int = 12) -> str:
+    """Per-RIP trap-class table, hottest sites first (ties by address)."""
+    lines = [title, ""]
+    header = f"  {'rip':>8} {'insn':<10}" + "".join(
+        f"{c[:6]:>8}" for c in _HEAT_COLS) + f"{'total':>8}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    rows = sorted(recorder.traps_by_rip.items(),
+                  key=lambda kv: (-sum(kv[1].values()), kv[0]))
+    shown = rows[:top]
+    for rip, counts in shown:
+        total = sum(counts.values())
+        cells = "".join(f"{counts.get(c, 0):>8}" for c in _HEAT_COLS)
+        lines.append(f"  {rip:>#8x} {_mnemonic(program, rip):<10}"
+                     f"{cells}{total:>8}")
+    if len(rows) > len(shown):
+        rest = sum(sum(c.values()) for _rip, c in rows[len(shown):])
+        lines.append(f"  ... {len(rows) - len(shown)} more sites, "
+                     f"{rest} traps")
+    lines.append("")
+    totals = "".join(f"{recorder.traps_by_class.get(c, 0):>8}"
+                     for c in _HEAT_COLS)
+    total = sum(recorder.traps_by_class.values())
+    lines.append(f"  {'total':>8} {'':<10}{totals}{total:>8}")
+    disabled = recorder.traps_by_class.get("disabled", 0)
+    if disabled:
+        lines.append(f"  (+ {disabled} trap-everything deliveries with "
+                     "no MXCSR flags)")
+    return "\n".join(lines)
+
+
+def _site(program, site: tuple) -> str:
+    rip, cls = site
+    return f"{rip:#x}/{_mnemonic(program, rip)}({cls})"
+
+
+def render_flow_graph(recorder, program=None, title: str = "NaN-flow graph",
+                      top: int = 10) -> str:
+    """Birth sites, propagation edges and kill sites as sorted lists."""
+    lines = [title, ""]
+
+    lines.append(f"  births ({sum(recorder.births.values())} boxes, "
+                 f"{len(recorder.births)} sites):")
+    births = sorted(recorder.births.items(), key=lambda kv: (-kv[1], kv[0]))
+    for site, n in births[:top]:
+        lines.append(f"    {_site(program, site):<34} x{n}")
+    if len(births) > top:
+        lines.append(f"    ... {len(births) - top} more sites")
+
+    lines.append(f"  propagation edges ({sum(recorder.edges.values())} "
+                 f"flows, {len(recorder.edges)} distinct):")
+    edges = sorted(recorder.edges.items(), key=lambda kv: (-kv[1], kv[0]))
+    for (src, dst), n in edges[:top]:
+        lines.append(f"    {_site(program, src):<34} -> "
+                     f"{_site(program, dst):<34} x{n}")
+    if len(edges) > top:
+        lines.append(f"    ... {len(edges) - top} more edges")
+
+    by_reason = recorder.kills_by_reason()
+    lines.append("  kills ("
+                 + ", ".join(f"{r}: {by_reason.get(r, 0)}"
+                             for r in KILL_REASONS) + "):")
+    kills = sorted(recorder.kills.items(), key=lambda kv: (-kv[1], kv[0]))
+    for (site, reason), n in kills[:top]:
+        lines.append(f"    {_site(program, site):<34} {reason:<10} x{n}")
+    if len(kills) > top:
+        lines.append(f"    ... {len(kills) - top} more kill sites")
+    lines.append(f"  live at exit: {len(recorder.live)} boxes")
+    return "\n".join(lines)

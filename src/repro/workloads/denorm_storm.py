@@ -1,0 +1,51 @@
+"""Denormal/underflow trap storm (the trap-diverse suite, half one).
+
+Every loop iteration raises the *rare* trap classes on operands
+reloaded fresh from ``.data`` — the key to trap-class diversity under
+virtualization: once a value is boxed, any consumption of it raises
+Invalid (the box is an sNaN), so only constant-operand operations keep
+their true class on every iteration.
+
+Per iteration:
+
+- ``1e-310 * 1.0`` — a subnormal *operand*, exact subnormal result:
+  Denormal only (underflow needs the result to be tiny **and**
+  inexact; an exact product raises no UE).
+- ``1e-160 * 1e-165`` — two *normal* operands whose product is tiny
+  and rounded: Underflow + Inexact, no DE.
+- ``1.0 / 3.0`` — Inexact only.
+- the accumulator update consumes the boxed results: Invalid.
+
+The Wittmann et al. cost note (PAPERS.md) is why this matters for
+benchmarks, not just coverage: denormal and underflow #XF dispatch
+carries a microcode-assist surcharge the invalid/inexact-dominated
+workloads never pay.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import Bin, For, INum, Let, Module, Num, Print, Var
+
+
+def build(scale: int = 600) -> Module:
+    """``scale`` iterations, each raising denormal, underflow, inexact
+    and invalid traps (about 4 class-pure FP ops per iteration)."""
+    m = Module()
+    main = m.function("main")
+    main.emit(Let("acc", Num(0.0)))
+
+    body = [
+        # Denormal: subnormal operand, exact result (DE only).
+        Let("d", Bin("*", Num(1e-310), Num(1.0))),
+        # Underflow: normal operands, tiny + inexact result (UE+PE).
+        Let("u", Bin("*", Num(1e-160), Num(1e-165))),
+        # Inexact on fresh constants (PE only).
+        Let("p", Bin("/", Num(1.0), Num(3.0))),
+        # Boxed consumption: every operand here is a box (sNaN) -> IE.
+        Let("acc", Bin("+", Var("acc"),
+                       Bin("+", Var("d"), Bin("+", Var("u"), Var("p"))))),
+    ]
+    main.emit(For("t", INum(0), INum(max(scale, 1)), body))
+
+    main.emit(Print(Var("acc")))
+    return m

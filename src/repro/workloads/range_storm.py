@@ -1,0 +1,56 @@
+"""Overflow/divide-by-zero/invalid trap storm (trap-diverse, half two).
+
+Complements :mod:`repro.workloads.denorm_storm` at the other end of
+the exponent range, again with constant operands reloaded from
+``.data`` each iteration so the true trap class fires every time:
+
+- ``1e308 * 1e10`` — Overflow (+Inexact): the boxed result is +inf.
+- ``1.0 / 0.0`` — DivByZero, exact +inf.
+- ``0.0 / 0.0`` — Invalid producing a *real* NaN, which the emulator
+  clamps to the canonical quiet NaN instead of boxing (a ``clamped``
+  kill in the flow graph, and a value the native run must agree on
+  bit-for-bit).
+- ``1.0 / 3.0`` — Inexact.
+- a compare and an integer truncation then *consume* the boxed
+  fraction (flow-graph ``consumed`` kills: values exiting FP space
+  through EFLAGS and a GPR).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    Bin, FCmp, For, IBin, ILet, INum, ITrunc, IVar, If, Let, Module, Num,
+    Print, PrintI, Var,
+)
+
+
+def build(scale: int = 500) -> Module:
+    m = Module()
+    main = m.function("main")
+    main.emit(Let("acc", Num(0.0)))
+    main.emit(ILet("n", INum(0)))
+
+    body = [
+        # Overflow: both operands normal, result saturates to +inf.
+        Let("big", Bin("*", Num(1e308), Num(1e10))),
+        # Divide-by-zero: exact +inf, ZE only.
+        Let("dz", Bin("/", Num(1.0), Num(0.0))),
+        # Invalid: 0/0 -> real NaN -> canonical-qNaN clamp, no box.
+        Let("nanv", Bin("/", Num(0.0), Num(0.0))),
+        # Invalid on *boxed* operands: inf - inf kills the boxed
+        # infinity through the clamp path (a ``clamped`` flow kill).
+        Let("nans", Bin("-", Var("big"), Var("big"))),
+        # Inexact.
+        Let("frac", Bin("/", Num(1.0), Num(3.0))),
+        # Consume the boxed fraction through a compare (ucomisd).
+        If(FCmp(">", Var("frac"), Num(0.25)),
+           [Let("acc", Bin("+", Var("acc"), Var("frac")))],
+           [Let("acc", Bin("-", Var("acc"), Var("frac")))]),
+        # ... and through an integer truncation (cvttsd2si).
+        ILet("n", IBin("+", IVar("n"), ITrunc(Var("frac")))),
+    ]
+    main.emit(For("t", INum(0), INum(max(scale, 1)), body))
+
+    main.emit(Print(Var("acc")))
+    main.emit(PrintI(IVar("n")))
+    return m

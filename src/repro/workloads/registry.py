@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.machine.hostlib import install_host_library
 from repro.machine.program import Program
 from repro.workloads import (
+    denorm_storm as _denorm_storm,
     double_pendulum as _double_pendulum,
     enzo as _enzo,
     fbench as _fbench,
@@ -14,6 +15,7 @@ from repro.workloads import (
     lorenz as _lorenz,
     lorenz_mt as _lorenz_mt,
     mixed_mt as _mixed_mt,
+    range_storm as _range_storm,
     three_body as _three_body,
 )
 
@@ -85,6 +87,18 @@ _WORKLOADS = {
             "mini-Enzo hydro (Sod tube, HLL): many distinct short "
             "sequences, big arrays, more GC",
             fleet_scale=8,
+        ),
+        Workload(
+            "denorm_storm", "Denorm Storm", _denorm_storm.build, 600,
+            "denormal/underflow trap storm: constant-operand ops keep "
+            "their true trap class every iteration (DE, UE, PE, IE)",
+            fleet_scale=200,
+        ),
+        Workload(
+            "range_storm", "Range Storm", _range_storm.build, 500,
+            "overflow/div-by-zero/invalid storm with NaN clamping plus "
+            "compare and int-convert consumption (OE, ZE, IE, PE)",
+            fleet_scale=150,
         ),
         Workload(
             "lorenz_mt", "Lorenz MT", _lorenz_mt.build, 300,

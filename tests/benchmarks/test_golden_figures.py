@@ -59,9 +59,17 @@ def assert_matches_golden(name: str, fresh: str, rtol: float = 0.05) -> None:
 
 # ----------------------------------------------- fast (microbench-backed)
 def test_trap_microbench_matches_golden():
-    fresh = report.render_trap_costs(
-        figures.trap_microbenchmark(), "Trap delegation microbenchmark (§2.3/§3)")
+    fresh = report.render_trap_microbench(
+        figures.trap_microbenchmark(), figures.trap_class_microbenchmark())
     assert_matches_golden("trap_microbench", fresh)
+
+
+@pytest.mark.flow
+def test_trap_heatmap_matches_golden():
+    """The heatmap figure is count-exact (RIPs and trap tallies are
+    deterministic), so any drift means the flow seam moved."""
+    fresh = report.render_trap_flow(figures.trap_heatmap())
+    assert_matches_golden("trap_heatmap", fresh, rtol=0.0)
 
 
 def test_fig02_matches_golden():

@@ -105,3 +105,49 @@ def test_pipeline_speedup_no_regression(tmp_path):
             "mixed_mt: lazy-on is slower than eager on the host — "
             "the elision machinery costs more than it saves")
     assert not failures, "; ".join(failures)
+
+
+# ---------------------------------------------------------- flow gate
+@pytest.mark.perf_smoke
+def test_flow_disabled_is_free():
+    """The FPVM_FLOW=0 contract: provenance recording off (the
+    default) must cost nothing on the virtualized hot path.  The
+    disabled run can never be slower than the enabled one beyond host
+    noise (the enabled path does strictly more work), the simulated
+    observables are bit-identical either way, and a vacuity guard
+    proves the enabled path actually records — a silently-None
+    recorder would make the perf half of this gate meaningless."""
+    from repro.core.vm import FPVMConfig
+    from repro.harness.runner import run_fpvm
+    from repro.observability import flow_enabled_default
+
+    assert not flow_enabled_default(), "FPVM_FLOW leaked into the gate env"
+
+    def best_of(flow: bool, reps: int = 3):
+        best = None
+        for _ in range(reps):
+            r = run_fpvm("lorenz", FPVMConfig.seq_short(flow=flow, uops=True),
+                         scale=150, chain=True, trace=True)
+            if best is None or r.host.seconds < best.host.seconds:
+                best = r
+        return best
+
+    off = best_of(flow=False)
+    on = best_of(flow=True)
+    assert off.flow is None and on.flow is not None
+    # bit-identity: recording is observation, never behavior.
+    assert off.output == on.output
+    assert off.cycles == on.cycles
+    assert off.traps == on.traps
+    # perf: disabled-path guards must stay within noise of free.
+    assert off.host.seconds <= on.host.seconds * (1 + TOLERANCE), (
+        f"flow-off {off.host.seconds:.3f}s slower than flow-on "
+        f"{on.host.seconds:.3f}s beyond {TOLERANCE:.0%} noise")
+
+    # vacuity: the enabled path records real provenance on the storm.
+    storm = run_fpvm("denorm_storm", FPVMConfig.seq_short(flow=True, uops=True),
+                     scale=40, chain=True, trace=True)
+    flow = storm.flow.as_dict()
+    assert flow["births"] > 0, "flow enabled but zero births recorded"
+    assert storm.flow.traps_by_class.get("denormal", 0) > 0, (
+        "denorm_storm raised no denormal traps — the storm is vacuous")

@@ -1,0 +1,55 @@
+"""Trap-class differential conformance: the rare #XF classes
+(Denormal, Overflow, Underflow, DivByZero) must ride the same pure
+delivery machinery as the Invalid/Inexact traffic the §6 workloads
+generate.  Fast storm rows run in tier-1; the full trap-class plan
+runs under the ``conformance`` marker (``pytest -m conformance``),
+same as ``python -m repro conformance --trap-classes`` in CI."""
+
+import pytest
+
+from repro.conformance import matrix
+from repro.harness.configs import CONFIG_ORDER
+from repro.observability import TRAP_CLASSES
+
+
+# ------------------------------------------------------- fast (tier-1)
+@pytest.mark.parametrize("group", [
+    matrix.Group("denorm_storm", scale=30),
+    matrix.Group("range_storm", scale=25),
+], ids=lambda g: g.label)
+def test_storm_group_is_conformant(group):
+    """Bit-identity across NONE/SEQ/SHORT/SEQ_SHORT *and* native for
+    the trap-diverse workloads: delivery of the rare classes is pure."""
+    result = matrix.run_group(group)
+    assert result.ok, result.mismatches + result.invariant_failures
+    assert set(result.runs) == set(CONFIG_ORDER)
+
+
+def test_every_trap_class_is_covered():
+    """The coverage gate the CLI enforces: the union of the storm
+    workloads' measured trap classes is all six #XF classes, each with
+    a meaningful count."""
+    coverage = matrix.trap_class_coverage()
+    union = {}
+    for counts in coverage.values():
+        for cls, n in counts.items():
+            union[cls] = union.get(cls, 0) + n
+    for cls in TRAP_CLASSES:
+        assert union.get(cls, 0) >= 40, (cls, coverage)
+
+
+def test_trap_class_plan_spans_the_axes():
+    plan = matrix.trap_class_plan()
+    assert {g.program for g in plan} == {"denorm_storm", "range_storm"}
+    assert {g.patch_source for g in plan} >= {"profiler", "static"}
+    assert {g.magic for g in plan} == {True, False}
+    assert {g.altmath for g in plan} >= {"boxed_ieee", "mpfr"}
+
+
+# --------------------------------------------------- full (conformance)
+@pytest.mark.conformance
+@pytest.mark.parametrize("group", matrix.trap_class_plan(),
+                         ids=lambda g: g.label)
+def test_trap_class_plan_row(group):
+    result = matrix.run_group(group)
+    assert result.ok, result.mismatches + result.invariant_failures

@@ -54,7 +54,7 @@ class TestRegistry:
     def test_registered_workloads(self):
         assert set(WORKLOAD_NAMES) == {
             "lorenz", "three_body", "double_pendulum", "fbench", "ffbench", "enzo",
-            "lorenz_mt", "mixed_mt",
+            "denorm_storm", "range_storm", "lorenz_mt", "mixed_mt",
         }
 
     def test_unknown_rejected(self):
